@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6). Each benchmark runs the corresponding experiment through the shared
+// suite and prints the paper-style report once.
+//
+// Model training is amortized: the suite trains each model on first use and
+// caches checkpoints under ./artifacts, so the first full run pays the
+// training cost and every later run (including re-running these benchmarks)
+// loads checkpoints and measures only detection.
+//
+// Scale is controlled by the TASTE_BENCH environment variable:
+//
+//	TASTE_BENCH=full   full-scale configuration (default when ./artifacts
+//	                   holds checkpoints)
+//	TASTE_BENCH=quick  minutes-scale smoke configuration (default otherwise)
+package taste_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var benchSuite struct {
+	once  sync.Once
+	suite *experiments.Suite
+}
+
+// suite returns the shared experiment suite, choosing full or quick scale.
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchSuite.once.Do(func() {
+		mode := os.Getenv("TASTE_BENCH")
+		if mode == "" {
+			if _, err := os.Stat("artifacts"); err == nil {
+				mode = "full"
+			} else {
+				mode = "quick"
+			}
+		}
+		cfg := experiments.QuickConfig()
+		if mode == "full" {
+			cfg = experiments.DefaultConfig()
+			cfg.Repeats = 1 // testing.B supplies the repetition
+		}
+		if testing.Verbose() {
+			cfg.Log = os.Stderr
+		}
+		benchSuite.suite = experiments.NewSuite(cfg)
+	})
+	return benchSuite.suite
+}
+
+// report prints an experiment report once (not per iteration).
+var reported sync.Map
+
+func report(name string, render func() fmt.Stringer) {
+	if _, dup := reported.LoadOrStore(name, true); dup {
+		return
+	}
+	fmt.Printf("\n%s\n", render())
+}
+
+// BenchmarkTable2DatasetSummary regenerates Table 2 (dataset summary).
+func BenchmarkTable2DatasetSummary(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Table2()
+		if len(res.Rows) != 8 {
+			b.Fatalf("expected 8 summary rows, got %d", len(res.Rows))
+		}
+	}
+	report("table2", func() fmt.Stringer { return s.Table2() })
+}
+
+// BenchmarkFig4ExecutionTime regenerates Figure 4 (end-to-end execution
+// time of all approaches on both datasets).
+func BenchmarkFig4ExecutionTime(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Fig4()
+		if len(res.Runs) != 2 {
+			b.Fatal("missing dataset runs")
+		}
+	}
+	report("fig4", func() fmt.Stringer { return s.Fig4() })
+}
+
+// BenchmarkTable3F1 regenerates Table 3 (precision/recall/F1).
+func BenchmarkTable3F1(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Table3()
+		if len(res.Runs[experiments.Wiki]) == 0 {
+			b.Fatal("no runs")
+		}
+	}
+	report("table3", func() fmt.Stringer { return s.Table3() })
+}
+
+// BenchmarkTable4PrivacyF1 regenerates Table 4 (metadata-only F1 under
+// strict privacy settings).
+func BenchmarkTable4PrivacyF1(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Table4()
+		if len(res.Runs[experiments.Wiki]) != 3 {
+			b.Fatal("expected 3 privacy runs per dataset")
+		}
+	}
+	report("table4", func() fmt.Stringer { return s.Table4() })
+}
+
+// BenchmarkFig5ScannedRatio regenerates Figure 5 (ratio of scanned columns).
+func BenchmarkFig5ScannedRatio(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Fig5()
+		for _, runs := range res.Runs {
+			for _, r := range runs {
+				if ratio := r.ScannedRatio(); ratio < 0 || ratio > 1 {
+					b.Fatalf("scanned ratio %v out of range", ratio)
+				}
+			}
+		}
+	}
+	report("fig5", func() fmt.Stringer { return s.Fig5() })
+}
+
+// BenchmarkFig6NullRatio regenerates Figure 6 (performance as the ratio of
+// columns without any type grows, via retained type sets Sk).
+func BenchmarkFig6NullRatio(b *testing.B) {
+	s := suite(b)
+	ks := []int{40, 20, 10}
+	if os.Getenv("TASTE_BENCH") == "full" {
+		ks = nil // full default sweep
+	}
+	for i := 0; i < b.N; i++ {
+		res := s.Fig6(ks)
+		if len(res.Points) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+	report("fig6", func() fmt.Stringer { return s.Fig6(ks) })
+}
+
+// BenchmarkFig7AlphaBeta regenerates Figure 7 (α/β sensitivity).
+func BenchmarkFig7AlphaBeta(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Fig7(nil)
+		if len(res.Points) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+	report("fig7", func() fmt.Stringer { return s.Fig7(nil) })
+}
+
+// BenchmarkFig8SplitThreshold regenerates Figure 8(a) (column split
+// threshold l sweep).
+func BenchmarkFig8SplitThreshold(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Fig8(nil, []int{10})
+		if len(res.L) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+	report("fig8a", func() fmt.Stringer {
+		res := s.Fig8(nil, []int{10})
+		return res
+	})
+}
+
+// BenchmarkFig8CellValues regenerates Figure 8(b) (cell count n sweep).
+func BenchmarkFig8CellValues(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Fig8([]int{20}, nil)
+		if len(res.N) == 0 {
+			b.Fatal("no sweep points")
+		}
+	}
+	report("fig8b", func() fmt.Stringer {
+		res := s.Fig8([]int{20}, nil)
+		return res
+	})
+}
+
+// BenchmarkAblationLatentCache measures the latent cache's effect on
+// end-to-end time (DESIGN.md §4.1).
+func BenchmarkAblationLatentCache(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		with := s.RunTaste(experiments.Wiki, experiments.DefaultTaste())
+		v := experiments.DefaultTaste()
+		v.Name, v.Cache = "Taste w/o caching", false
+		without := s.RunTaste(experiments.Wiki, v)
+		if with.Duration <= 0 || without.Duration <= 0 {
+			b.Fatal("bad durations")
+		}
+	}
+}
+
+// BenchmarkAblationPipelining measures pipelined vs sequential execution
+// (DESIGN.md §4.2).
+func BenchmarkAblationPipelining(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		pipe := s.RunTaste(experiments.Wiki, experiments.DefaultTaste())
+		v := experiments.DefaultTaste()
+		v.Name, v.Pipelined = "Taste w/o pipelining", false
+		seq := s.RunTaste(experiments.Wiki, v)
+		if pipe.Duration <= 0 || seq.Duration <= 0 {
+			b.Fatal("bad durations")
+		}
+	}
+}
+
+// BenchmarkAblationAutoWeightedLoss compares §4.4's automatic loss
+// weighting against fixed weights (DESIGN.md §4.3); also covers the
+// asymmetric-attention ablation (§4.4).
+func BenchmarkAblationAutoWeightedLoss(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		res := s.Ablations()
+		if len(res.AutoWeightedLoss) != 2 || len(res.AsymmetricAttention) != 2 {
+			b.Fatal("incomplete ablation result")
+		}
+	}
+	report("ablations", func() fmt.Stringer { return s.Ablations() })
+}

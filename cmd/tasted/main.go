@@ -1,0 +1,86 @@
+// Command tasted serves the Taste detector over HTTP (see
+// internal/service for the API). It loads an ADTD checkpoint produced by
+// tastetrain — or, with -train, trains a fresh model at startup — and hosts
+// a demo tenant database generated from the test split.
+//
+// Usage:
+//
+//	tasted -checkpoint taste.ckpt -addr :8080
+//	tasted -train -addr :8080        # self-contained demo
+//
+// Then:
+//
+//	curl -s localhost:8080/v1/types | jq .
+//	curl -s -XPOST localhost:8080/v1/detect -d '{"database":"demo","pipelined":true}' | jq .
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/adtd"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/service"
+	"repro/internal/simdb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		checkpoint = flag.String("checkpoint", "", "ADTD checkpoint from tastetrain (matching -tables/-seed)")
+		train      = flag.Bool("train", false, "train a fresh model at startup instead of loading a checkpoint")
+		tables     = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
+		seed       = flag.Int64("seed", 1, "corpus seed (must match the checkpoint)")
+		epochs     = flag.Int("epochs", 8, "training epochs when -train is set")
+	)
+	flag.Parse()
+
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(*tables), *seed)
+	tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 4000)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+	model, err := adtd.New(adtd.ReproScale(), tok, types, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *train:
+		cfg := adtd.DefaultTrainConfig()
+		cfg.Epochs = *epochs
+		cfg.LR, cfg.FinalLR = 1.5e-3, 4e-4
+		cfg.PosWeight = 6
+		cfg.Log = os.Stderr
+		log.Printf("training model (%d epochs) …", cfg.Epochs)
+		if _, err := adtd.FineTune(model, ds.Train, cfg); err != nil {
+			log.Fatal(err)
+		}
+	case *checkpoint != "":
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Load(f); err != nil {
+			log.Fatalf("load checkpoint: %v", err)
+		}
+		f.Close()
+		log.Printf("loaded checkpoint %s", *checkpoint)
+	default:
+		log.Fatal("tasted: need -checkpoint or -train")
+	}
+
+	det, err := core.NewDetector(model, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := service.New(det)
+
+	demo := simdb.NewServer(simdb.PaperLatency(0.1))
+	demo.LoadTables("demo", ds.Test)
+	svc.RegisterTenant("demo", demo)
+
+	log.Printf("tasted listening on %s (demo tenant: %d tables)", *addr, len(ds.Test))
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}

@@ -1,0 +1,108 @@
+// Command tastetrain trains a single model (Taste ADTD, TURL, or Doduo) on
+// a generated corpus and writes the checkpoint to a file. It is the
+// standalone counterpart of the training the experiment suite performs
+// lazily; useful for preparing checkpoints once and serving them elsewhere.
+//
+// Usage:
+//
+//	tastetrain -model taste -dataset wikitable -tables 600 -epochs 16 -o taste.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/adtd"
+	"repro/internal/baselines"
+	"repro/internal/corpus"
+)
+
+func main() {
+	var (
+		modelKind = flag.String("model", "taste", "model to train: taste, turl, doduo")
+		dataset   = flag.String("dataset", "wikitable", "corpus profile: wikitable, gittables")
+		tables    = flag.Int("tables", 300, "corpus size in tables")
+		seed      = flag.Int64("seed", 1, "corpus and init seed")
+		epochs    = flag.Int("epochs", 12, "fine-tuning epochs")
+		pretrain  = flag.Int("pretrain", 0, "MLM pre-training steps before fine-tuning (taste only)")
+		hist      = flag.Bool("histogram", false, "train the with-histogram variant (taste only)")
+		out       = flag.String("o", "model.ckpt", "checkpoint output path")
+	)
+	flag.Parse()
+
+	var profile corpus.Profile
+	switch *dataset {
+	case "wikitable":
+		profile = corpus.WikiTableProfile(*tables)
+	case "gittables":
+		profile = corpus.GitTablesProfile(*tables)
+	default:
+		log.Fatalf("tastetrain: unknown dataset %q", *dataset)
+	}
+	ds := corpus.Generate(corpus.DefaultRegistry(), profile, *seed)
+	tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 4000)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+
+	start := time.Now()
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("tastetrain: %v", err)
+	}
+	defer f.Close()
+
+	switch *modelKind {
+	case "taste":
+		m, err := adtd.New(adtd.ReproScale(), tok, types, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *pretrain > 0 {
+			pcfg := adtd.DefaultPretrainConfig()
+			pcfg.Steps = *pretrain
+			pcfg.Log = os.Stderr
+			if _, err := adtd.Pretrain(m, ds.Train, pcfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cfg := adtd.DefaultTrainConfig()
+		cfg.Epochs = *epochs
+		cfg.LR, cfg.FinalLR = 1.5e-3, 3e-4
+		cfg.PosWeight = 6
+		cfg.WeightDecay = 1e-4
+		cfg.Cells = 6
+		cfg.ContentColumnsPerChunk = 4
+		cfg.WithStats = *hist
+		cfg.Log = os.Stderr
+		if _, err := adtd.FineTune(m, ds.Train, cfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained taste model (%d params) in %v → %s\n", m.NumParams(), time.Since(start).Round(time.Second), *out)
+	case "turl", "doduo":
+		v, cfg := baselines.TURL, baselines.TURLScale()
+		if *modelKind == "doduo" {
+			v, cfg = baselines.Doduo, baselines.DoduoScale()
+		}
+		m := baselines.New(v, cfg, tok, types, *seed)
+		tcfg := baselines.DefaultTrainConfig()
+		tcfg.Epochs = *epochs
+		tcfg.LR, tcfg.FinalLR = 1.5e-3, 3e-4
+		tcfg.PosWeight = 6
+		tcfg.WeightDecay = 1e-4
+		tcfg.Log = os.Stderr
+		if _, err := baselines.FineTune(m, ds.Train, tcfg); err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trained %s model (%d params) in %v → %s\n", v, m.NumParams(), time.Since(start).Round(time.Second), *out)
+	default:
+		log.Fatalf("tastetrain: unknown model %q", *modelKind)
+	}
+}

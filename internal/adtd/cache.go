@@ -1,0 +1,92 @@
+package adtd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LatentCache stores metadata-tower latent representations per table chunk
+// so that Phase 2 can reuse them instead of re-running the metadata tower
+// (§4.2.2). It is a bounded LRU keyed by (table, chunk) and safe for
+// concurrent use by the pipelined executor.
+type LatentCache struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	key string
+	enc *MetaEncoding
+}
+
+// NewLatentCache creates a cache holding at most capacity encodings;
+// capacity ≤ 0 disables caching entirely (the "Taste w/o caching" variant).
+func NewLatentCache(capacity int) *LatentCache {
+	return &LatentCache{
+		capacity: capacity,
+		items:    make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Put stores an encoding, detached from any autograd graph.
+func (c *LatentCache) Put(key string, enc *MetaEncoding) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).enc = enc.Detach()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, enc: enc.Detach()})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Get returns the cached encoding, or nil on miss.
+func (c *LatentCache) Get(key string) *MetaEncoding {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).enc
+}
+
+// Delete evicts one key.
+func (c *LatentCache) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Stats returns the hit/miss counters.
+func (c *LatentCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached encodings.
+func (c *LatentCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

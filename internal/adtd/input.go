@@ -1,0 +1,168 @@
+package adtd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metafeat"
+	"repro/internal/tokenizer"
+)
+
+// Encoder builds model inputs (token id sequences plus anchors) from the
+// unified table view. It is stateless and safe for concurrent use.
+type Encoder struct {
+	Tok *tokenizer.Tokenizer
+	Cfg Config
+}
+
+// MetaInput is the metadata tower's input for one table (or table chunk):
+// the serialized textual metadata Mᶜₜ plus per-column anchors and the
+// non-textual features Mᶜₙ.
+//
+// Layout: [TAB] <table name> [SEP] <table comment>   (≤ TableTokens)
+// then per column: [COL] <col name> [SEP] <col comment> [SEP] <data type>
+// (≤ ColTokens). The latent at each [COL] position is the column's metadata
+// representation.
+type MetaInput struct {
+	IDs        []int
+	Segments   []int // 0 = table-level metadata, 1 = column metadata
+	ColAnchors []int // position of each column's [COL] token
+	// ColSpans holds each column's [start, end) token range; the column's
+	// metadata representation is mean-pooled over this span.
+	ColSpans   [][2]int
+	NonTextual [][]float64
+}
+
+// Len returns the sequence length.
+func (in *MetaInput) Len() int { return len(in.IDs) }
+
+// BuildMetaInput serializes a table's metadata. includeStats gates the
+// statistics/histogram block of the non-textual features.
+func (e *Encoder) BuildMetaInput(t *metafeat.TableInfo, includeStats bool) *MetaInput {
+	in := &MetaInput{}
+	push := func(id, seg int) {
+		in.IDs = append(in.IDs, id)
+		in.Segments = append(in.Segments, seg)
+	}
+
+	// Table-level metadata.
+	tableIDs := []int{e.Tok.MustID(tokenizer.TAB)}
+	tableIDs = append(tableIDs, e.Tok.Encode(t.Name)...)
+	if t.Comment != "" {
+		tableIDs = append(tableIDs, e.Tok.MustID(tokenizer.SEP))
+		tableIDs = append(tableIDs, e.Tok.Encode(t.Comment)...)
+	}
+	tableIDs = truncate(tableIDs, e.Cfg.TableTokens)
+	for _, id := range tableIDs {
+		push(id, 0)
+	}
+
+	// Per-column metadata.
+	for _, c := range t.Columns {
+		colIDs := []int{e.Tok.MustID(tokenizer.COL)}
+		colIDs = append(colIDs, e.Tok.Encode(c.Name)...)
+		if c.Comment != "" {
+			colIDs = append(colIDs, e.Tok.MustID(tokenizer.SEP))
+			colIDs = append(colIDs, e.Tok.Encode(c.Comment)...)
+		}
+		colIDs = append(colIDs, e.Tok.MustID(tokenizer.SEP))
+		colIDs = append(colIDs, e.Tok.Encode(strings.ToLower(c.DataType))...)
+		colIDs = truncate(colIDs, e.Cfg.ColTokens)
+		start := len(in.IDs)
+		in.ColAnchors = append(in.ColAnchors, start)
+		for _, id := range colIDs {
+			push(id, 1)
+		}
+		in.ColSpans = append(in.ColSpans, [2]int{start, len(in.IDs)})
+		in.NonTextual = append(in.NonTextual, metafeat.NonTextual(c, t.RowCount, includeStats))
+	}
+	if len(in.IDs) > e.Cfg.MaxSeq {
+		panic(fmt.Sprintf("adtd: metadata sequence %d exceeds MaxSeq %d; lower the column split threshold", len(in.IDs), e.Cfg.MaxSeq))
+	}
+	return in
+}
+
+// ContentInput is the content tower's input: the serialized cell values Dᶜ
+// of the selected columns.
+//
+// Layout per selected column: [VAL] then for each of the first n non-empty
+// cells: [CLS] <length-bucket token> <cell pieces> (≤ CellTokens). The
+// latent at each [VAL] position is the column's content representation.
+// ColOf supports the per-column attention restriction of §6.4: a cell
+// attends to all metadata but only to content positions of its own column.
+type ContentInput struct {
+	IDs        []int
+	ColOf      []int // for each position, the index into Columns it belongs to
+	ValAnchors []int // position of each selected column's [VAL] token
+	// ColSpans holds each selected column's [start, end) range; the content
+	// representation is mean-pooled over it.
+	ColSpans [][2]int
+	Columns  []int // selected column indices within the TableInfo
+}
+
+// Len returns the sequence length.
+func (in *ContentInput) Len() int { return len(in.IDs) }
+
+// BuildContentInput serializes content for the selected columns (indices
+// into t.Columns), using the first n non-empty cell values of each (§6.1.2).
+// Columns must have Values populated (from training data or a P2 scan).
+func (e *Encoder) BuildContentInput(t *metafeat.TableInfo, cols []int, n int) *ContentInput {
+	in := &ContentInput{Columns: append([]int(nil), cols...)}
+	for slot, ci := range cols {
+		c := t.Columns[ci]
+		start := len(in.IDs)
+		in.ValAnchors = append(in.ValAnchors, start)
+		in.IDs = append(in.IDs, e.Tok.MustID(tokenizer.VAL))
+		in.ColOf = append(in.ColOf, slot)
+		used := 0
+		for _, v := range c.Values {
+			if used >= n {
+				break
+			}
+			if v == "" {
+				continue // §6.1.2: skip empty cells, they contribute nothing
+			}
+			used++
+			cell := []int{e.Tok.MustID(tokenizer.CLS), e.Tok.ID(LengthBucketToken(len(v)))}
+			cell = append(cell, e.Tok.Encode(v)...)
+			cell = truncate(cell, e.Cfg.CellTokens+2) // +2: the [CLS] and length tokens
+			for _, id := range cell {
+				in.IDs = append(in.IDs, id)
+				in.ColOf = append(in.ColOf, slot)
+			}
+		}
+		in.ColSpans = append(in.ColSpans, [2]int{start, len(in.IDs)})
+	}
+	return in
+}
+
+// LengthBucketToken names the value-length bucket token included before each
+// cell's pieces. Cell truncation to CellTokens pieces would otherwise erase
+// the length signal that separates e.g. phone numbers from credit card
+// numbers; real content-based models see the full value, so the bucket
+// token restores information the truncation removed rather than adding any.
+func LengthBucketToken(n int) string {
+	bucket := n
+	if bucket > 24 {
+		bucket = 24
+	}
+	bucket -= bucket % 2
+	return fmt.Sprintf("len%d", bucket)
+}
+
+// LengthBucketTokens enumerates every length-bucket token, for vocabulary
+// construction.
+func LengthBucketTokens() []string {
+	var out []string
+	for n := 0; n <= 24; n += 2 {
+		out = append(out, fmt.Sprintf("len%d", n))
+	}
+	return out
+}
+
+func truncate(ids []int, max int) []int {
+	if len(ids) > max {
+		return ids[:max]
+	}
+	return ids
+}

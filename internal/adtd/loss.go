@@ -1,0 +1,35 @@
+package adtd
+
+import "repro/internal/tensor"
+
+// AutoWeightedLoss combines the two towers' BCE losses with learnable
+// weights (§4.4):
+//
+//	L = Σᵢ 1/(2wᵢ²)·Lᵢ + ln(1+wᵢ²)
+//
+// w is a 1×2 trainable tensor; the square keeps the combination weights
+// positive and the log term regularizes w away from infinity.
+func AutoWeightedLoss(w *tensor.Tensor, losses ...*tensor.Tensor) *tensor.Tensor {
+	if w.Rows != 1 || w.Cols != len(losses) {
+		panic("adtd: AutoWeightedLoss weight shape must be 1×len(losses)")
+	}
+	w2 := tensor.Mul(w, w)
+	invHalf := tensor.Scale(tensor.Reciprocal(w2), 0.5) // 1/(2wᵢ²), 1×k
+	reg := tensor.Sum(tensor.Log(tensor.AddScalar(w2, 1)))
+	total := reg
+	for i, l := range losses {
+		weighted := tensor.Mul(tensor.SliceCols(invHalf, i, i+1), l)
+		total = tensor.Add(total, weighted)
+	}
+	return total
+}
+
+// FixedWeightedLoss is the static 50/50 alternative used by the
+// auto-weighted-loss ablation bench.
+func FixedWeightedLoss(losses ...*tensor.Tensor) *tensor.Tensor {
+	total := tensor.Scale(losses[0], 1/float64(len(losses)))
+	for _, l := range losses[1:] {
+		total = tensor.Add(total, tensor.Scale(l, 1/float64(len(losses))))
+	}
+	return total
+}

@@ -1,0 +1,327 @@
+package adtd
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/metafeat"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+)
+
+// Model is the Asymmetric Double-Tower Detection network (§4, Fig. 3).
+//
+// The "two towers" are logical: both run the same shared Transformer blocks
+// (§4.2.1, "the two towers use shared parameters for each layer"), differing
+// only in their inputs and attention wiring. The metadata tower is plain
+// self-attention over the serialized metadata; the content tower queries
+// with content latents while its keys/values are the concatenation of the
+// previous layer's metadata and content latents (§4.2.3).
+type Model struct {
+	Cfg   Config
+	Types *TypeSpace
+	Tok   *tokenizer.Tokenizer
+
+	TokEmbed *nn.Embedding
+	PosEmbed *nn.Embedding
+	SegEmbed *nn.Embedding // 0 = table meta, 1 = column meta, 2 = content
+
+	Blocks []*nn.TransformerBlock
+
+	MetaCls *nn.MLPClassifier // input: H + NonTextualDim
+	ContCls *nn.MLPClassifier // input: 2H + NonTextualDim
+
+	MLMHead *nn.Linear // H → vocab, pre-training objective head
+
+	// LossW is the learnable 1×2 weight vector w of the automatic
+	// weighted loss (§4.4).
+	LossW *tensor.Tensor
+
+	enc Encoder
+}
+
+// New creates a randomly initialized ADTD model.
+func New(cfg Config, tok *tokenizer.Tokenizer, types *TypeSpace, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Cfg:      cfg,
+		Types:    types,
+		Tok:      tok,
+		TokEmbed: nn.NewEmbedding(tok.VocabSize(), cfg.Hidden, rng),
+		PosEmbed: nn.NewEmbedding(cfg.MaxSeq, cfg.Hidden, rng),
+		SegEmbed: nn.NewEmbedding(3, cfg.Hidden, rng),
+		MetaCls:  nn.NewMLPClassifier(cfg.Hidden+metafeat.NonTextualDim, cfg.MetaClassifierHidden, types.Len(), rng),
+		ContCls:  nn.NewMLPClassifier(2*cfg.Hidden+metafeat.NonTextualDim, cfg.ContentClassifierHidden, types.Len(), rng),
+		MLMHead:  nn.NewLinear(cfg.Hidden, tok.VocabSize(), rng),
+		LossW:    tensor.Param(1, 2),
+	}
+	m.LossW.Fill(1)
+	// Multi-label targets are extremely sparse (one or two positives among
+	// |S| types), so the output layers start biased toward "not this type":
+	// untrained columns then read as confidently type-less rather than as
+	// uniformly uncertain, and training only has to raise the positives.
+	m.MetaCls.Out.B.Fill(-3)
+	m.ContCls.Out.B.Fill(-3)
+	for i := 0; i < cfg.Layers; i++ {
+		m.Blocks = append(m.Blocks, nn.NewTransformerBlock(cfg.Hidden, cfg.Heads, cfg.Intermediate, rng))
+	}
+	m.enc = Encoder{Tok: tok, Cfg: cfg}
+	return m, nil
+}
+
+// Encoder returns the input encoder bound to this model's tokenizer and
+// configuration.
+func (m *Model) Encoder() *Encoder { return &m.enc }
+
+// Params returns all trainable parameters in a stable order.
+func (m *Model) Params() []*tensor.Tensor {
+	mods := []nn.Module{m.TokEmbed, m.PosEmbed, m.SegEmbed}
+	for _, b := range m.Blocks {
+		mods = append(mods, b)
+	}
+	mods = append(mods, m.MetaCls, m.ContCls, m.MLMHead)
+	ps := nn.CollectParams(mods...)
+	return append(ps, m.LossW)
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// SetEval freezes parameters: subsequent forwards build no autograd state,
+// making inference cheaper and safe for concurrent use of the shared model.
+func (m *Model) SetEval() { m.setGrad(false) }
+
+// SetTrain re-enables gradient tracking.
+func (m *Model) SetTrain() { m.setGrad(true) }
+
+func (m *Model) setGrad(v bool) {
+	for _, p := range m.Params() {
+		p.SetRequiresGrad(v)
+	}
+}
+
+// Save serializes all parameters.
+func (m *Model) Save(w io.Writer) error { return tensor.WriteTensors(w, m.Params()) }
+
+// Load restores all parameters from a checkpoint written by Save.
+func (m *Model) Load(r io.Reader) error { return tensor.ReadTensors(r, m.Params()) }
+
+// embed builds token+position+segment embeddings for a sequence.
+func (m *Model) embed(ids, segments []int) *tensor.Tensor {
+	pos := make([]int, len(ids))
+	for i := range pos {
+		p := i
+		if p >= m.Cfg.MaxSeq {
+			p = m.Cfg.MaxSeq - 1
+		}
+		pos[i] = p
+	}
+	e := tensor.Add(m.TokEmbed.Forward(ids), m.PosEmbed.Forward(pos))
+	return tensor.Add(e, m.SegEmbed.Forward(segments))
+}
+
+// MetaEncoding carries the per-layer metadata latents Encodeᵢ^{Mᶜₜ} for one
+// table chunk — exactly what the latent cache stores (§4.2.2): layer 0 is
+// the embedding, layer i the output of the i-th Transformer block.
+type MetaEncoding struct {
+	Layers []*tensor.Tensor
+	In     *MetaInput
+}
+
+// Final returns the last layer's latents.
+func (e *MetaEncoding) Final() *tensor.Tensor { return e.Layers[len(e.Layers)-1] }
+
+// Detach returns a graph-free copy suitable for caching across requests.
+func (e *MetaEncoding) Detach() *MetaEncoding {
+	out := &MetaEncoding{In: e.In}
+	for _, l := range e.Layers {
+		out.Layers = append(out.Layers, l.Detach())
+	}
+	return out
+}
+
+// EncodeMetadata runs the metadata tower (§4.2.2): L layers of
+// self-attention over the metadata sequence, returning every layer's
+// latents so P2 can reuse them.
+func (m *Model) EncodeMetadata(in *MetaInput) *MetaEncoding {
+	enc := &MetaEncoding{In: in}
+	x := m.embed(in.IDs, in.Segments)
+	enc.Layers = append(enc.Layers, x)
+	for _, b := range m.Blocks {
+		x = b.SelfForward(x, nil)
+		enc.Layers = append(enc.Layers, x)
+	}
+	return enc
+}
+
+// MetaLogits applies the metadata classifier f₁ (§4.3) to every column of
+// an encoded chunk: Classify_meta(Encode_L^{Mᶜₜ} ⊕ Mᶜₙ). The column's
+// latent representation is the mean over its metadata token span.
+func (m *Model) MetaLogits(enc *MetaEncoding) *tensor.Tensor {
+	pooled := poolSpans(enc.Final(), enc.In.ColSpans)
+	return m.MetaCls.Forward(tensor.ConcatCols(pooled, tensor.FromRows(enc.In.NonTextual)))
+}
+
+// poolSpans mean-pools rows of x over each [start, end) span.
+func poolSpans(x *tensor.Tensor, spans [][2]int) *tensor.Tensor {
+	rows := make([]*tensor.Tensor, len(spans))
+	for i, sp := range spans {
+		rows[i] = tensor.MeanRows(tensor.SliceRows(x, sp[0], sp[1]))
+	}
+	return tensor.ConcatRows(rows...)
+}
+
+// EncodeContent runs the content tower (§4.2.3). Each layer queries with the
+// previous content latents while attending over [metadata ⊕ content]
+// latents of the previous layer; the metadata latents come from menc, which
+// may be a cached encoding. The attention mask lets a cell attend to all
+// metadata positions but only to content positions of its own column (§6.4).
+func (m *Model) EncodeContent(menc *MetaEncoding, in *ContentInput) *tensor.Tensor {
+	if len(menc.Layers) != m.Cfg.Layers+1 {
+		panic(fmt.Sprintf("adtd: metadata encoding has %d layers, model wants %d", len(menc.Layers)-1, m.Cfg.Layers))
+	}
+	segs := make([]int, len(in.IDs))
+	for i := range segs {
+		segs[i] = 2
+	}
+	content := m.embed(in.IDs, segs)
+	if m.Cfg.SymmetricContent {
+		// Ablation: plain self-attention over content, no metadata K/V.
+		mask := m.symmetricMask(in)
+		for _, b := range m.Blocks {
+			content = b.SelfForward(content, mask)
+		}
+		return content
+	}
+	mask := m.contentMask(menc.In.Len(), in)
+	for i, b := range m.Blocks {
+		kv := tensor.ConcatRows(menc.Layers[i], content)
+		content = b.Forward(content, kv, mask)
+	}
+	return content
+}
+
+// symmetricMask is the content-only per-column mask used by the
+// SymmetricContent ablation.
+func (m *Model) symmetricMask(in *ContentInput) *tensor.Tensor {
+	lc := in.Len()
+	multi := false
+	for _, c := range in.ColOf {
+		if c != in.ColOf[0] {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return nil
+	}
+	mask := tensor.New(lc, lc)
+	neg := math.Inf(-1)
+	for i := 0; i < lc; i++ {
+		row := mask.Row(i)
+		for j := 0; j < lc; j++ {
+			if in.ColOf[j] != in.ColOf[i] {
+				row[j] = neg
+			}
+		}
+	}
+	return mask
+}
+
+// contentMask builds the Lc × (Lm+Lc) additive mask: zeros over metadata,
+// zeros within the same column's content, -Inf across columns.
+func (m *Model) contentMask(lm int, in *ContentInput) *tensor.Tensor {
+	lc := in.Len()
+	// Single-column chunks need no mask: everything may attend everywhere.
+	multi := false
+	for _, c := range in.ColOf {
+		if c != in.ColOf[0] {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return nil
+	}
+	mask := tensor.New(lc, lm+lc)
+	neg := math.Inf(-1)
+	for i := 0; i < lc; i++ {
+		row := mask.Row(i)
+		for j := 0; j < lc; j++ {
+			if in.ColOf[j] != in.ColOf[i] {
+				row[lm+j] = neg
+			}
+		}
+	}
+	return mask
+}
+
+// ContentLogits applies the content classifier f₂ (§4.3) to the selected
+// columns: Classify_cont(Encode_L^{Dᶜ} ⊕ Encode_L^{Mᶜₜ} ⊕ Mᶜₙ).
+func (m *Model) ContentLogits(menc *MetaEncoding, in *ContentInput, content *tensor.Tensor) *tensor.Tensor {
+	contentPooled := poolSpans(content, in.ColSpans)
+	metaSpans := make([][2]int, len(in.Columns))
+	nonTextual := make([][]float64, len(in.Columns))
+	for slot, ci := range in.Columns {
+		metaSpans[slot] = menc.In.ColSpans[ci]
+		nonTextual[slot] = menc.In.NonTextual[ci]
+	}
+	metaPooled := poolSpans(menc.Final(), metaSpans)
+	return m.ContCls.Forward(tensor.ConcatCols(contentPooled, metaPooled, tensor.FromRows(nonTextual)))
+}
+
+// Sigmoid converts a logits matrix into probabilities without touching the
+// autograd graph (inference helper).
+func Sigmoid(logits *tensor.Tensor) [][]float64 {
+	out := make([][]float64, logits.Rows)
+	for i := 0; i < logits.Rows; i++ {
+		row := make([]float64, logits.Cols)
+		for j, v := range logits.Row(i) {
+			row[j] = 1 / (1 + math.Exp(-v))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// PredictMeta is the Phase-1 inference path: encode metadata and return the
+// encoding (for caching) plus per-column type probabilities p_{c,s}.
+func (m *Model) PredictMeta(t *metafeat.TableInfo, includeStats bool) (*MetaEncoding, [][]float64) {
+	in := m.enc.BuildMetaInput(t, includeStats)
+	menc := m.EncodeMetadata(in)
+	return menc, Sigmoid(m.MetaLogits(menc))
+}
+
+// PredictContent is the Phase-2 inference path: given a (possibly cached)
+// metadata encoding and scanned content for the selected columns, return
+// their type probabilities.
+func (m *Model) PredictContent(menc *MetaEncoding, t *metafeat.TableInfo, cols []int, n int) [][]float64 {
+	in := m.enc.BuildContentInput(t, cols, n)
+	content := m.EncodeContent(menc, in)
+	return Sigmoid(m.ContentLogits(menc, in, content))
+}
+
+// ExtendTypes grows both classifier heads to cover newly registered
+// semantic types (§8 future work). Existing class weights are preserved;
+// fine-tuning on examples of the new types is the caller's responsibility.
+func (m *Model) ExtendTypes(names []string, seed int64) {
+	m.Types.Extend(names)
+	if m.Types.Len() <= m.MetaCls.Classes() {
+		return // every name was already known
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m.MetaCls.ExtendClasses(m.Types.Len(), rng)
+	m.ContCls.ExtendClasses(m.Types.Len(), rng)
+}

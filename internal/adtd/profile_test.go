@@ -1,0 +1,27 @@
+package adtd
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// BenchmarkFineTuneEpoch measures one epoch of fine-tuning on a small
+// corpus; used with -cpuprofile to find hot spots.
+func BenchmarkFineTuneEpoch(b *testing.B) {
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(40), 1)
+	tok := BuildVocabulary(ds.Train, ds.Registry.Names(), 3000)
+	types := NewTypeSpace(ds.Registry.Names())
+	m, err := New(ReproScale(), tok, types, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FineTune(m, ds.Train, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

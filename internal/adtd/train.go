@@ -1,0 +1,215 @@
+package adtd
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/corpus"
+	"repro/internal/metafeat"
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls fine-tuning (§6.1.3: on-premise training over the
+// labelled training split).
+type TrainConfig struct {
+	// Epochs over the training set (paper: 20; repro default: 4).
+	Epochs int
+	// LR is the initial Adam learning rate.
+	LR float64
+	// FinalLR, when positive, decays the learning rate exponentially from
+	// LR to FinalLR across the epochs.
+	FinalLR float64
+	// PosWeight up-weights positive (column, type) pairs in the BCE loss to
+	// counter the extreme label sparsity of multi-label detection.
+	PosWeight float64
+	// WeightDecay is the AdamW decoupled weight decay (0 disables).
+	WeightDecay float64
+	// WithStats attaches ANALYZE-equivalent statistics to training tables
+	// (trains the "Taste with histogram" variant).
+	WithStats bool
+	// SplitThreshold is the column split threshold l (§6.1.2).
+	SplitThreshold int
+	// Cells is the number of non-empty cell values per column (n).
+	Cells int
+	// ContentColumnsPerChunk caps how many columns join the content task
+	// per chunk per epoch (sampled), bounding the content tower's
+	// sequence length on wide tables. ≤0 means all columns.
+	ContentColumnsPerChunk int
+	// UseAutoWeightedLoss selects §4.4's automatic weighting (true, the
+	// default configuration) or a fixed 50/50 combination (the ablation).
+	UseAutoWeightedLoss bool
+	// Seed drives shuffling and column sampling.
+	Seed int64
+	// Log, when non-nil, receives one line per epoch.
+	Log io.Writer
+}
+
+// DefaultTrainConfig returns the repro-scale training configuration.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:                 4,
+		LR:                     1e-3,
+		PosWeight:              4,
+		SplitThreshold:         20,
+		Cells:                  10,
+		ContentColumnsPerChunk: 6,
+		UseAutoWeightedLoss:    true,
+		Seed:                   1,
+	}
+}
+
+// FineTune trains the full ADTD model (both towers jointly, multi-task) on
+// labelled corpus tables. It returns the mean total loss of the final epoch.
+func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("adtd: Epochs must be positive")
+	}
+	if cfg.Cells <= 0 {
+		cfg.Cells = 10
+	}
+	m.SetTrain()
+	defer m.SetEval()
+	opt := tensor.NewAdam(m.Params(), cfg.LR)
+	opt.ClipNorm = 1
+	opt.WeightDecay = cfg.WeightDecay
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type chunk struct {
+		info   *metafeat.TableInfo
+		labels [][]string
+	}
+	var chunks []chunk
+	for _, t := range tables {
+		info := metafeat.FromCorpusTable(t, cfg.WithStats, 8)
+		labelOf := make(map[*metafeat.ColumnInfo][]string, len(t.Columns))
+		for i, c := range info.Columns {
+			labelOf[c] = t.Columns[i].Labels
+		}
+		for _, part := range info.Split(cfg.SplitThreshold) {
+			ch := chunk{info: part}
+			for _, c := range part.Columns {
+				ch.labels = append(ch.labels, labelOf[c])
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+	if len(chunks) == 0 {
+		return 0, fmt.Errorf("adtd: no training tables")
+	}
+
+	lastEpochLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = epochLR(cfg.LR, cfg.FinalLR, epoch, cfg.Epochs)
+		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+		total := 0.0
+		for _, ch := range chunks {
+			opt.ZeroGrads()
+			loss := m.trainStep(ch.info, ch.labels, cfg, rng)
+			loss.Backward()
+			opt.Step()
+			total += loss.Item()
+		}
+		lastEpochLoss = total / float64(len(chunks))
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "adtd fine-tune epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, lastEpochLoss)
+		}
+	}
+	return lastEpochLoss, nil
+}
+
+// trainStep builds the multi-task loss for one table chunk.
+func (m *Model) trainStep(info *metafeat.TableInfo, labels [][]string, cfg TrainConfig, rng *rand.Rand) *tensor.Tensor {
+	targets := make([][]float64, len(info.Columns))
+	for i := range info.Columns {
+		targets[i] = m.Types.Targets(labels[i])
+	}
+	targetT := tensor.FromRows(targets)
+
+	// Task 1: metadata tower.
+	menc := m.EncodeMetadata(m.enc.BuildMetaInput(info, cfg.WithStats))
+	metaLoss := tensor.WeightedBCEWithLogits(m.MetaLogits(menc), targetT, cfg.PosWeight)
+
+	// Task 2: content tower over a (possibly sampled) subset of columns.
+	cols := make([]int, len(info.Columns))
+	for i := range cols {
+		cols[i] = i
+	}
+	if cfg.ContentColumnsPerChunk > 0 && len(cols) > cfg.ContentColumnsPerChunk {
+		rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+		cols = cols[:cfg.ContentColumnsPerChunk]
+	}
+	cin := m.enc.BuildContentInput(info, cols, cfg.Cells)
+	content := m.EncodeContent(menc, cin)
+	contentTargets := make([][]float64, len(cols))
+	for slot, ci := range cols {
+		contentTargets[slot] = targets[ci]
+	}
+	contLoss := tensor.WeightedBCEWithLogits(
+		m.ContentLogits(menc, cin, content),
+		tensor.FromRows(contentTargets),
+		cfg.PosWeight,
+	)
+
+	if cfg.UseAutoWeightedLoss {
+		return AutoWeightedLoss(m.LossW, metaLoss, contLoss)
+	}
+	return FixedWeightedLoss(metaLoss, contLoss)
+}
+
+// FeedbackExample is one user correction (§8 future work): the column as
+// the user saw it plus the types it should (or should not) have.
+type FeedbackExample struct {
+	Table  *metafeat.TableInfo
+	Column int
+	Labels []string
+}
+
+// ApplyFeedback performs a lightweight online update of the classifier
+// heads only (encoder frozen), adapting predictions to user corrections
+// without a full re-train.
+func (m *Model) ApplyFeedback(examples []FeedbackExample, lr float64, steps int) error {
+	if len(examples) == 0 {
+		return fmt.Errorf("adtd: no feedback examples")
+	}
+	heads := append(m.MetaCls.Params(), m.ContCls.Params()...)
+	for _, p := range heads {
+		p.SetRequiresGrad(true)
+	}
+	defer func() {
+		for _, p := range heads {
+			p.SetRequiresGrad(false)
+		}
+	}()
+	opt := tensor.NewSGD(heads, lr, 0.9)
+	for s := 0; s < steps; s++ {
+		for _, ex := range examples {
+			opt.ZeroGrads()
+			menc := m.EncodeMetadata(m.enc.BuildMetaInput(ex.Table, false))
+			logits := m.MetaLogits(menc)
+			row := tensor.SliceRows(logits, ex.Column, ex.Column+1)
+			target := tensor.FromRows([][]float64{m.Types.Targets(ex.Labels)})
+			loss := tensor.WeightedBCEWithLogits(row, target, 4)
+			if ex.Table.Columns[ex.Column].Values != nil {
+				cin := m.enc.BuildContentInput(ex.Table, []int{ex.Column}, 10)
+				content := m.EncodeContent(menc, cin)
+				closs := tensor.WeightedBCEWithLogits(m.ContentLogits(menc, cin, content), target, 4)
+				loss = tensor.Add(loss, closs)
+			}
+			loss.Backward()
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// epochLR interpolates the learning rate exponentially from lr to finalLR
+// (when set) across epochs.
+func epochLR(lr, finalLR float64, epoch, epochs int) float64 {
+	if finalLR <= 0 || finalLR >= lr || epochs <= 1 {
+		return lr
+	}
+	frac := float64(epoch) / float64(epochs-1)
+	return lr * math.Pow(finalLR/lr, frac)
+}

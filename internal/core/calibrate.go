@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adtd"
+	"repro/internal/metrics"
+	"repro/internal/simdb"
+)
+
+// CalibrationPoint is one (α, β) candidate with its measured validation
+// behaviour.
+type CalibrationPoint struct {
+	Alpha, Beta  float64
+	ScannedRatio float64
+	F1           float64
+}
+
+// CalibrationResult is the outcome of CalibrateThresholds.
+type CalibrationResult struct {
+	// Chosen is the recommended (α, β) pair.
+	Chosen CalibrationPoint
+	// Frontier holds every evaluated pair, ordered by widening band.
+	Frontier []CalibrationPoint
+}
+
+// CalibrateThresholds implements the §6.7 rules of thumb as code: it sweeps
+// symmetric (α, β) pairs on a validation database and picks the narrowest
+// uncertainty band whose scanned-column ratio stays within maxScanRatio —
+// i.e. the best F1 achievable under a given intrusiveness budget. truth maps
+// "table.column" to ground-truth labels for scoring.
+func CalibrateThresholds(model *adtd.Model, server *simdb.Server, dbName string, truth map[string][]string, maxScanRatio float64) (*CalibrationResult, error) {
+	if maxScanRatio < 0 || maxScanRatio > 1 {
+		return nil, fmt.Errorf("core: maxScanRatio must be in [0,1], got %v", maxScanRatio)
+	}
+	pairs := [][2]float64{
+		{0.5, 0.5}, {0.4, 0.6}, {0.3, 0.7}, {0.2, 0.8},
+		{0.1, 0.9}, {0.05, 0.95}, {0.02, 0.98},
+	}
+	res := &CalibrationResult{}
+	for _, ab := range pairs {
+		opts := DefaultOptions()
+		opts.Alpha, opts.Beta = ab[0], ab[1]
+		det, err := NewDetector(model, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := det.DetectDatabase(server, dbName, SequentialMode)
+		if err != nil {
+			return nil, err
+		}
+		acc := metrics.NewF1Accumulator()
+		for _, tr := range rep.Tables {
+			for _, c := range tr.Columns {
+				acc.Add(c.Admitted, truth[tr.Table+"."+c.Column])
+			}
+		}
+		res.Frontier = append(res.Frontier, CalibrationPoint{
+			Alpha: ab[0], Beta: ab[1],
+			ScannedRatio: rep.ScannedRatio(),
+			F1:           acc.F1(),
+		})
+	}
+	// Choose the best F1 whose scan ratio respects the budget; ties go to
+	// the narrower band (less exposure). The frontier is already ordered
+	// from narrowest to widest.
+	best := -1
+	for i, p := range res.Frontier {
+		if p.ScannedRatio > maxScanRatio {
+			continue
+		}
+		if best == -1 || p.F1 > res.Frontier[best].F1 {
+			best = i
+		}
+	}
+	if best == -1 {
+		// Budget unreachable even with P2 disabled cannot happen (α=β never
+		// scans), but guard anyway.
+		best = 0
+	}
+	res.Chosen = res.Frontier[best]
+	sort.SliceStable(res.Frontier, func(i, j int) bool {
+		return res.Frontier[i].Beta-res.Frontier[i].Alpha < res.Frontier[j].Beta-res.Frontier[j].Alpha
+	})
+	return res, nil
+}

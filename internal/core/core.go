@@ -1,0 +1,475 @@
+// Package core implements the Taste two-phase semantic type detection
+// framework of §3 — the paper's primary contribution. Phase 1 fetches only
+// native metadata from the user database and runs the metadata tower of the
+// ADTD model; when any (column, type) probability falls in the uncertainty
+// band (α, β), Phase 2 scans just the uncertain columns' content and runs
+// the full double-tower model, reusing Phase 1's latent representations
+// through the latent cache. Batches of tables execute either sequentially
+// or through the pipelined scheduler of §5.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/adtd"
+	"repro/internal/corpus"
+	"repro/internal/metafeat"
+	"repro/internal/pipeline"
+	"repro/internal/simdb"
+)
+
+// Options configures a Detector. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Alpha and Beta are the probability thresholds of §3.2
+	// (0 ≤ α ≤ β ≤ 1): p ≥ β admits a type, p ≤ α rejects it, and
+	// anything in between makes the column uncertain and triggers Phase 2.
+	// Setting Alpha == Beta disables Phase 2 entirely (the strict-privacy
+	// "Taste w/o P2" mode).
+	Alpha, Beta float64
+	// RowsToRead is m: how many rows a Phase-2 scan retrieves (§6.1.2).
+	RowsToRead int
+	// CellsPerColumn is n: how many non-empty cell values feed the model.
+	CellsPerColumn int
+	// SplitThreshold is l: tables wider than this are split into chunks.
+	SplitThreshold int
+	// Strategy selects first-m-rows or random sampling for Phase-2 scans.
+	Strategy simdb.ScanStrategy
+	// ScanSeed seeds random sampling.
+	ScanSeed int64
+	// UseHistogram runs ANALYZE TABLE when statistics are missing and
+	// feeds the statistics/histogram features to the model ("Taste with
+	// histogram").
+	UseHistogram bool
+	// AdmitThreshold is the Phase-2 admission threshold on content-tower
+	// probabilities.
+	AdmitThreshold float64
+	// CacheCapacity bounds the latent cache; 0 disables caching ("Taste
+	// w/o caching").
+	CacheCapacity int
+}
+
+// DefaultOptions returns the paper's default configuration (§6.2):
+// α=0.1, β=0.9, m=50, n=10, l=20, first-m-rows scanning, no histograms.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:          0.1,
+		Beta:           0.9,
+		RowsToRead:     50,
+		CellsPerColumn: 10,
+		SplitThreshold: 20,
+		Strategy:       simdb.FirstRows,
+		AdmitThreshold: 0.5,
+		CacheCapacity:  4096,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	switch {
+	case o.Alpha < 0 || o.Beta > 1 || o.Alpha > o.Beta:
+		return fmt.Errorf("core: need 0 ≤ α ≤ β ≤ 1, got α=%v β=%v", o.Alpha, o.Beta)
+	case o.RowsToRead < 1:
+		return fmt.Errorf("core: RowsToRead must be ≥ 1")
+	case o.CellsPerColumn < 1:
+		return fmt.Errorf("core: CellsPerColumn must be ≥ 1")
+	case o.AdmitThreshold <= 0 || o.AdmitThreshold >= 1:
+		return fmt.Errorf("core: AdmitThreshold must be in (0,1)")
+	}
+	return nil
+}
+
+// P2Disabled reports whether the options make Phase 2 unreachable.
+func (o Options) P2Disabled() bool { return o.Alpha == o.Beta }
+
+// Detector is the Taste detection service: a trained ADTD model plus the
+// framework configuration. It is safe for concurrent use once the model is
+// in eval mode.
+type Detector struct {
+	Model *adtd.Model
+	Opts  Options
+
+	cache *adtd.LatentCache
+
+	mu       sync.Mutex
+	feedback []adtd.FeedbackExample
+}
+
+// NewDetector creates a detector over a trained model. The model is
+// switched to eval mode.
+func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	model.SetEval()
+	return &Detector{
+		Model: model,
+		Opts:  opts,
+		cache: adtd.NewLatentCache(opts.CacheCapacity),
+	}, nil
+}
+
+// Cache exposes the latent cache (for stats and tests).
+func (d *Detector) Cache() *adtd.LatentCache { return d.cache }
+
+// ColumnResult is the detection outcome for one column.
+type ColumnResult struct {
+	Table  string
+	Column string
+	// Admitted is the final set Aᶜ of admitted semantic types (§3.3),
+	// sorted; empty means the column has no semantic type.
+	Admitted []string
+	// Uncertain reports whether Phase 1 was uncertain about the column.
+	Uncertain bool
+	// Phase records which phase produced the final answer (1 or 2).
+	Phase int
+	// Probs are the deciding phase's probabilities indexed by the model's
+	// type space.
+	Probs []float64
+}
+
+// TableResult aggregates one table's detection.
+type TableResult struct {
+	Table          string
+	Columns        []ColumnResult
+	ScannedColumns int
+}
+
+// Report aggregates a batch detection run — the end-to-end view of §6.2.
+type Report struct {
+	Tables           []*TableResult
+	Duration         time.Duration
+	TotalColumns     int
+	UncertainColumns int
+	ScannedColumns   int
+	CacheHits        int
+	CacheMisses      int
+	Errors           []error
+}
+
+// ScannedRatio returns the intrusiveness metric of §6.2.
+func (r *Report) ScannedRatio() float64 {
+	if r.TotalColumns == 0 {
+		return 0
+	}
+	return float64(r.ScannedColumns) / float64(r.TotalColumns)
+}
+
+// Find returns the result for a column, or nil.
+func (r *Report) Find(table, column string) *ColumnResult {
+	for _, t := range r.Tables {
+		if t.Table != table {
+			continue
+		}
+		for i := range t.Columns {
+			if t.Columns[i].Column == column {
+				return &t.Columns[i]
+			}
+		}
+	}
+	return nil
+}
+
+// ExecMode selects how a batch is executed (§5).
+type ExecMode struct {
+	// Pipelined enables Algorithm 1; false processes tables sequentially.
+	Pipelined bool
+	// PrepWorkers and InferWorkers size thread pools TP1 and TP2.
+	PrepWorkers  int
+	InferWorkers int
+}
+
+// SequentialMode is the execution mode of the baselines and of "Taste w/o
+// pipelining".
+var SequentialMode = ExecMode{}
+
+// PipelinedMode returns the default pipelined mode with the paper's pool
+// size of 2 (§6.3).
+func PipelinedMode() ExecMode {
+	return ExecMode{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
+}
+
+// tableJob carries per-table state across the four stages.
+type tableJob struct {
+	d       *Detector
+	conn    *simdb.Conn
+	dbName  string
+	table   string
+	info    *metafeat.TableInfo
+	chunks  []*metafeat.TableInfo
+	offsets []int // global index of each chunk's first column
+	// p1Probs[i] is Phase 1's probability row for global column i.
+	p1Probs   [][]float64
+	uncertain []int // global indices of uncertain columns
+	res       *TableResult
+}
+
+func (d *Detector) cacheKey(dbName, table string, chunk int) string {
+	return fmt.Sprintf("%s.%s#%d/h=%v", dbName, table, chunk, d.Opts.UseHistogram)
+}
+
+// s1PrepMetadata fetches metadata (running ANALYZE first when histograms
+// are requested but absent) and builds the chunked table view.
+func (j *tableJob) s1PrepMetadata() error {
+	tm, err := j.conn.TableMetadata(j.table)
+	if err != nil {
+		return err
+	}
+	if j.d.Opts.UseHistogram {
+		missing := false
+		for i := range tm.Columns {
+			if tm.Columns[i].Stats == nil {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			if err := j.conn.AnalyzeTable(j.table, simdb.AnalyzeOptions{}); err != nil {
+				return err
+			}
+			if tm, err = j.conn.TableMetadata(j.table); err != nil {
+				return err
+			}
+		}
+	}
+	j.info = metafeat.FromTableMeta(tm)
+	j.chunks = j.info.Split(j.d.Opts.SplitThreshold)
+	off := 0
+	for _, ch := range j.chunks {
+		j.offsets = append(j.offsets, off)
+		off += len(ch.Columns)
+	}
+	return nil
+}
+
+// s2InferMetadata runs Phase 1 inference per chunk, populates the latent
+// cache, and classifies columns into certain/uncertain.
+func (j *tableJob) s2InferMetadata() error {
+	opts := j.d.Opts
+	j.res = &TableResult{Table: j.table}
+	// Chunks cover the columns consecutively, so appending per chunk keeps
+	// p1Probs indexed by global column position.
+	for ci, chunk := range j.chunks {
+		menc, probs := j.d.Model.PredictMeta(chunk, opts.UseHistogram)
+		j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci), menc)
+		j.p1Probs = append(j.p1Probs, probs...)
+	}
+	for global, row := range j.p1Probs {
+		col := j.info.Columns[global]
+		cr := ColumnResult{Table: j.table, Column: col.Name, Phase: 1, Probs: row}
+		cr.Admitted = j.d.admitted(row, opts.Beta)
+		if !opts.P2Disabled() && isUncertain(row, opts.Alpha, opts.Beta) {
+			cr.Uncertain = true
+			j.uncertain = append(j.uncertain, global)
+		}
+		j.res.Columns = append(j.res.Columns, cr)
+	}
+	return nil
+}
+
+// s3PrepContent scans the uncertain columns' content (§3.3). Certain
+// columns are never scanned.
+func (j *tableJob) s3PrepContent() error {
+	if len(j.uncertain) == 0 {
+		return nil
+	}
+	opts := j.d.Opts
+	names := make([]string, len(j.uncertain))
+	for i, g := range j.uncertain {
+		names[i] = j.info.Columns[g].Name
+	}
+	content, err := j.conn.ScanColumns(j.table, names, simdb.ScanOptions{
+		Strategy: opts.Strategy,
+		Rows:     opts.RowsToRead,
+		Seed:     opts.ScanSeed,
+	})
+	if err != nil {
+		return err
+	}
+	for _, g := range j.uncertain {
+		j.info.Columns[g].Values = content[j.info.Columns[g].Name]
+	}
+	j.res.ScannedColumns = len(j.uncertain)
+	return nil
+}
+
+// s4InferContent runs Phase 2 over each chunk's uncertain columns, reusing
+// cached metadata latents when available and recomputing them otherwise.
+func (j *tableJob) s4InferContent() error {
+	if len(j.uncertain) == 0 {
+		return nil
+	}
+	opts := j.d.Opts
+	uncertainSet := make(map[int]bool, len(j.uncertain))
+	for _, g := range j.uncertain {
+		uncertainSet[g] = true
+	}
+	for ci, chunk := range j.chunks {
+		var localCols []int
+		var globals []int
+		for local := range chunk.Columns {
+			if uncertainSet[j.offsets[ci]+local] {
+				localCols = append(localCols, local)
+				globals = append(globals, j.offsets[ci]+local)
+			}
+		}
+		if len(localCols) == 0 {
+			continue
+		}
+		menc := j.d.cache.Get(j.d.cacheKey(j.dbName, j.table, ci))
+		if menc == nil {
+			// Cache disabled or evicted: pay the duplicate metadata-tower
+			// computation the latent cache exists to avoid (§4.2.2).
+			menc = j.d.Model.EncodeMetadata(j.d.Model.Encoder().BuildMetaInput(chunk, opts.UseHistogram))
+		}
+		probs := j.d.Model.PredictContent(menc, chunk, localCols, opts.CellsPerColumn)
+		for slot, g := range globals {
+			cr := &j.res.Columns[g]
+			cr.Phase = 2
+			cr.Probs = probs[slot]
+			cr.Admitted = j.d.admitted(probs[slot], opts.AdmitThreshold)
+		}
+	}
+	return nil
+}
+
+// admitted returns the sorted type names with probability ≥ threshold,
+// excluding the background type.
+func (d *Detector) admitted(probs []float64, threshold float64) []string {
+	var out []string
+	for i, p := range probs {
+		if i == 0 {
+			continue // background type is never reported
+		}
+		if p >= threshold {
+			out = append(out, d.Model.Types.Name(i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isUncertain implements Definition 3.2 over all types in S.
+func isUncertain(probs []float64, alpha, beta float64) bool {
+	for _, p := range probs {
+		if p > alpha && p < beta {
+			return true
+		}
+	}
+	return false
+}
+
+// stages exposes the job's four ordered stages for the scheduler.
+func (j *tableJob) stages() []pipeline.Stage {
+	return []pipeline.Stage{
+		{Kind: pipeline.Prep, Name: j.table + "/p1-prep", Run: j.s1PrepMetadata},
+		{Kind: pipeline.Infer, Name: j.table + "/p1-infer", Run: j.s2InferMetadata},
+		{Kind: pipeline.Prep, Name: j.table + "/p2-prep", Run: j.s3PrepContent},
+		{Kind: pipeline.Infer, Name: j.table + "/p2-infer", Run: j.s4InferContent},
+	}
+}
+
+// DetectTable runs end-to-end detection for one table over an existing
+// connection.
+func (d *Detector) DetectTable(conn *simdb.Conn, dbName, table string) (*TableResult, error) {
+	j := &tableJob{d: d, conn: conn, dbName: dbName, table: table}
+	for _, st := range j.stages() {
+		if err := st.Run(); err != nil {
+			return nil, fmt.Errorf("core: table %s, stage %s: %w", table, st.Name, err)
+		}
+	}
+	return j.res, nil
+}
+
+// DetectDatabase runs end-to-end detection over every table of a database,
+// reusing one connection for the whole batch (§5 recommends connection
+// reuse) and executing per the given mode. Per-table failures are collected
+// in Report.Errors without aborting the batch.
+func (d *Detector) DetectDatabase(server *simdb.Server, dbName string, mode ExecMode) (*Report, error) {
+	start := time.Now()
+	conn, err := server.Connect(dbName)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	tables, err := conn.ListTables()
+	if err != nil {
+		return nil, err
+	}
+
+	hits0, misses0 := d.cache.Stats()
+	jobs := make([]*pipeline.Job, len(tables))
+	tjobs := make([]*tableJob, len(tables))
+	for i, t := range tables {
+		tjobs[i] = &tableJob{d: d, conn: conn, dbName: dbName, table: t}
+		jobs[i] = &pipeline.Job{ID: t, Stages: tjobs[i].stages()}
+	}
+	sched := pipeline.Scheduler{
+		Pipelined:    mode.Pipelined,
+		PrepWorkers:  mode.PrepWorkers,
+		InferWorkers: mode.InferWorkers,
+	}
+	if err := sched.Run(jobs); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Duration: time.Since(start)}
+	for i, j := range jobs {
+		if j.Err != nil {
+			rep.Errors = append(rep.Errors, fmt.Errorf("table %s: %w", j.ID, j.Err))
+			continue
+		}
+		tr := tjobs[i].res
+		rep.Tables = append(rep.Tables, tr)
+		rep.TotalColumns += len(tr.Columns)
+		rep.ScannedColumns += tr.ScannedColumns
+		for _, c := range tr.Columns {
+			if c.Uncertain {
+				rep.UncertainColumns++
+			}
+		}
+	}
+	hits1, misses1 := d.cache.Stats()
+	rep.CacheHits = hits1 - hits0
+	rep.CacheMisses = misses1 - misses0
+	return rep, nil
+}
+
+// Feedback records user corrections and immediately applies a lightweight
+// online update of the classifier heads (§8 future work). table must carry
+// the column's metadata; content values are optional.
+func (d *Detector) Feedback(table *metafeat.TableInfo, column int, labels []string) error {
+	if column < 0 || column >= len(table.Columns) {
+		return fmt.Errorf("core: column index %d out of range", column)
+	}
+	ex := adtd.FeedbackExample{Table: table, Column: column, Labels: labels}
+	d.mu.Lock()
+	d.feedback = append(d.feedback, ex)
+	d.mu.Unlock()
+	return d.Model.ApplyFeedback([]adtd.FeedbackExample{ex}, 0.02, 5)
+}
+
+// FeedbackLog returns all recorded corrections.
+func (d *Detector) FeedbackLog() []adtd.FeedbackExample {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]adtd.FeedbackExample(nil), d.feedback...)
+}
+
+// RegisterTypes extends the detector's type domain with user-defined
+// semantic types (§8): the registry entries drive future corpus generation
+// and the model's classifier heads grow in place.
+func (d *Detector) RegisterTypes(reg *corpus.Registry, types []*corpus.Type) error {
+	var names []string
+	for _, t := range types {
+		if err := reg.Register(t); err != nil {
+			return err
+		}
+		names = append(names, t.Name)
+	}
+	d.Model.ExtendTypes(names, 0)
+	return nil
+}

@@ -1,0 +1,379 @@
+package corpus
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRegistryWellFormed(t *testing.T) {
+	reg := DefaultRegistry()
+	if reg.Len() < 50 {
+		t.Fatalf("registry has %d types, want ≥50", reg.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, typ := range reg.Types() {
+		if typ.Name == "" || typ.Category == "" || typ.SQLType == "" {
+			t.Fatalf("type %+v missing fields", typ)
+		}
+		if len(typ.ColumnNames) == 0 {
+			t.Fatalf("type %s has no column names", typ.Name)
+		}
+		for i := 0; i < 5; i++ {
+			if v := typ.Gen(rng); v == "" {
+				t.Fatalf("type %s generated empty value", typ.Name)
+			}
+		}
+		for _, co := range typ.CoTypes {
+			if reg.Lookup(co) == nil {
+				t.Fatalf("type %s references unknown co-type %s", typ.Name, co)
+			}
+		}
+	}
+}
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	reg := DefaultRegistry()
+	if reg.Lookup("email") == nil {
+		t.Fatal("email type missing")
+	}
+	if reg.Lookup("no_such_type") != nil {
+		t.Fatal("lookup of unknown type should be nil")
+	}
+	names := reg.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names must be sorted and unique")
+		}
+	}
+}
+
+func TestRegistryRegisterUserDefined(t *testing.T) {
+	reg := DefaultRegistry()
+	before := reg.Len()
+	err := reg.Register(&Type{
+		Name:        "employee_badge",
+		Category:    "identifier",
+		SQLType:     "VARCHAR",
+		ColumnNames: []string{"badge", "badge_id"},
+		Gen:         pattern("B-#####"),
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if reg.Len() != before+1 || reg.Lookup("employee_badge") == nil {
+		t.Fatal("registration did not take effect")
+	}
+	// Duplicate and invalid registrations must fail.
+	if err := reg.Register(&Type{Name: "employee_badge", ColumnNames: []string{"x"}, Gen: pattern("#")}); err == nil {
+		t.Fatal("duplicate registration should error")
+	}
+	if err := reg.Register(&Type{Name: "incomplete"}); err == nil {
+		t.Fatal("invalid registration should error")
+	}
+}
+
+func TestRegistrySubset(t *testing.T) {
+	reg := DefaultRegistry()
+	sub := reg.Subset([]string{"email", "city", "unknown_type"})
+	if sub.Len() != 2 {
+		t.Fatalf("subset has %d types, want 2", sub.Len())
+	}
+	if sub.Lookup("email") == nil || sub.Lookup("city") == nil {
+		t.Fatal("subset missing requested types")
+	}
+}
+
+func TestAmbiguousNamesCoverCategories(t *testing.T) {
+	reg := DefaultRegistry()
+	for _, typ := range reg.Types() {
+		pool := AmbiguousNames[typ.Category]
+		if len(pool) == 0 {
+			t.Fatalf("category %s (type %s) has no ambiguous name pool", typ.Category, typ.Name)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	reg := DefaultRegistry()
+	p := WikiTableProfile(5)
+	a := NewGenerator(reg, p, 7)
+	b := NewGenerator(reg, p, 7)
+	for i := 0; i < 5; i++ {
+		ta, tb := a.Table(), b.Table()
+		if ta.Name != tb.Name || len(ta.Columns) != len(tb.Columns) {
+			t.Fatal("same seed must generate identical tables")
+		}
+		for j := range ta.Columns {
+			if ta.Columns[j].Name != tb.Columns[j].Name || ta.Columns[j].Values[0] != tb.Columns[j].Values[0] {
+				t.Fatal("column mismatch under same seed")
+			}
+		}
+	}
+}
+
+func TestGeneratorUniqueColumnNames(t *testing.T) {
+	reg := DefaultRegistry()
+	g := NewGenerator(reg, GitTablesProfile(30), 3)
+	for i := 0; i < 30; i++ {
+		tbl := g.Table()
+		seen := make(map[string]bool)
+		for _, c := range tbl.Columns {
+			if seen[c.Name] {
+				t.Fatalf("duplicate column name %q in table %s", c.Name, tbl.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+}
+
+func TestWikiTableProfileProperties(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(300), 1)
+	stats := ds.Stats()
+	all := stats[0]
+	if all.PctNoType != 0 {
+		t.Fatalf("WikiTable profile must have 0%% type-less columns, got %.2f%%", all.PctNoType)
+	}
+	ambiguous, labelled := 0, 0
+	for _, tb := range append(append(ds.Train, ds.Val...), ds.Test...) {
+		for _, c := range tb.Columns {
+			if c.HasType() {
+				labelled++
+				if c.Ambiguous {
+					ambiguous++
+				}
+			}
+		}
+	}
+	rate := float64(ambiguous) / float64(labelled)
+	if math.Abs(rate-0.45) > 0.06 {
+		t.Fatalf("ambiguous rate %.3f, want ≈0.45", rate)
+	}
+}
+
+func TestGitTablesProfileProperties(t *testing.T) {
+	ds := Generate(DefaultRegistry(), GitTablesProfile(300), 2)
+	all := ds.Stats()[0]
+	if all.PctNoType < 27 || all.PctNoType > 37 {
+		t.Fatalf("GitTables type-less ratio %.2f%%, want ≈32%%", all.PctNoType)
+	}
+}
+
+func TestSplitProportions(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(100), 3)
+	if len(ds.Train) != 80 || len(ds.Val) != 10 || len(ds.Test) != 10 {
+		t.Fatalf("split sizes %d/%d/%d", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+}
+
+func TestAmbiguousColumnsHaveNoComments(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(100), 4)
+	for _, tb := range ds.Train {
+		for _, c := range tb.Columns {
+			if c.Ambiguous && c.Comment != "" {
+				t.Fatalf("ambiguous column %s has comment %q", c.Name, c.Comment)
+			}
+		}
+	}
+}
+
+func TestAmbiguousColumnNamesAreFromPools(t *testing.T) {
+	pool := make(map[string]bool)
+	for _, names := range AmbiguousNames {
+		for _, n := range names {
+			pool[n] = true
+		}
+	}
+	for _, n := range globalAmbiguousNames {
+		pool[n] = true
+	}
+	ds := Generate(DefaultRegistry(), WikiTableProfile(80), 5)
+	for _, tb := range ds.Train {
+		for _, c := range tb.Columns {
+			if !c.Ambiguous {
+				continue
+			}
+			ok := pool[c.Name]
+			if !ok {
+				// Collision suffixes append digits: "num" → "num2".
+				for p := range pool {
+					if strings.HasPrefix(c.Name, p) && strings.TrimLeft(c.Name[len(p):], "0123456789") == "" {
+						ok = true
+						break
+					}
+				}
+			}
+			if !ok {
+				t.Fatalf("ambiguous column name %q not from ambiguity pools", c.Name)
+			}
+		}
+	}
+}
+
+func TestNullColumnsHaveNoLabels(t *testing.T) {
+	ds := Generate(DefaultRegistry(), GitTablesProfile(100), 6)
+	foundNull := false
+	for _, tb := range ds.Train {
+		for _, c := range tb.Columns {
+			if !c.HasType() {
+				foundNull = true
+				if c.Ambiguous {
+					t.Fatal("null columns are not 'ambiguous'")
+				}
+			}
+		}
+	}
+	if !foundNull {
+		t.Fatal("GitTables profile should produce null columns")
+	}
+}
+
+func TestTuneRelabels(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(100), 7)
+	retained := ds.SampleTypes(10, 0)
+	tuned := ds.Tune(retained)
+	if tuned.Registry.Len() != 10 {
+		t.Fatalf("tuned registry has %d types", tuned.Registry.Len())
+	}
+	keep := make(map[string]bool)
+	for _, n := range retained {
+		keep[n] = true
+	}
+	for _, tb := range tuned.Test {
+		for _, c := range tb.Columns {
+			for _, l := range c.Labels {
+				if !keep[l] {
+					t.Fatalf("tuned column kept dropped label %s", l)
+				}
+			}
+		}
+	}
+	// Tuning must increase the type-less ratio.
+	if tuned.Stats()[0].PctNoType <= ds.Stats()[0].PctNoType {
+		t.Fatal("tuning should create columns without types")
+	}
+	// Original dataset must be untouched.
+	if ds.Stats()[0].PctNoType != 0 {
+		t.Fatal("Tune must not mutate the source dataset")
+	}
+}
+
+func TestTuneMonotoneNullRatio(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(150), 8)
+	prev := -1.0
+	for _, k := range []int{50, 30, 10} {
+		tuned := ds.Tune(ds.SampleTypes(k, 0))
+		pct := tuned.Stats()[0].PctNoType
+		if pct < prev {
+			t.Fatalf("null ratio should not decrease as k shrinks: k=%d pct=%.2f prev=%.2f", k, pct, prev)
+		}
+		prev = pct
+	}
+}
+
+func TestSampleTypesDeterministic(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(20), 9)
+	a := ds.SampleTypes(5, 0)
+	b := ds.SampleTypes(5, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SampleTypes must be deterministic for a fixed seed")
+		}
+	}
+	c := ds.SampleTypes(5, 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("warning: different seeds produced identical samples (possible but unlikely)")
+	}
+}
+
+func TestStatsOfCountsMultiLabel(t *testing.T) {
+	tb := &Table{Columns: []*Column{
+		{Labels: []string{"a", "b"}, Values: []string{"x"}},
+		{Labels: []string{"a"}, Values: []string{"x"}},
+		{Labels: nil, Values: []string{"x"}},
+	}}
+	s := StatsOf([]*Table{tb})
+	if s.Columns != 3 || s.Types != 2 || s.MultiLabeled != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.PctNoType-100.0/3) > 1e-9 {
+		t.Fatalf("PctNoType = %v", s.PctNoType)
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(10), 10)
+	for _, tb := range ds.Train {
+		if tb.Rows() != 60 {
+			t.Fatalf("table %s has %d rows, want 60", tb.Name, tb.Rows())
+		}
+	}
+	empty := &Table{}
+	if empty.Rows() != 0 {
+		t.Fatal("empty table should report 0 rows")
+	}
+}
+
+func TestNullCellRateApplied(t *testing.T) {
+	ds := Generate(DefaultRegistry(), WikiTableProfile(50), 11)
+	total, empty := 0, 0
+	for _, tb := range ds.Train {
+		for _, c := range tb.Columns {
+			for _, v := range c.Values {
+				total++
+				if v == "" {
+					empty++
+				}
+			}
+		}
+	}
+	rate := float64(empty) / float64(total)
+	if rate < 0.02 || rate > 0.1 {
+		t.Fatalf("null cell rate %.3f, want ≈0.05", rate)
+	}
+}
+
+// Property: every generated value for a type with an all-digit pattern stays
+// parseable in shape (length preserved), for arbitrary seeds.
+func TestPatternGeneratorProperty(t *testing.T) {
+	gen := pattern("###-##-####")
+	f := func(seed int64) bool {
+		v := gen(rand.New(rand.NewSource(seed)))
+		if len(v) != 11 || v[3] != '-' || v[6] != '-' {
+			return false
+		}
+		for i, ch := range v {
+			if i == 3 || i == 6 {
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dataset generation is pure — same (profile, seed) twice gives
+// identical statistics.
+func TestGenerateDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := Generate(DefaultRegistry(), GitTablesProfile(20), seed)
+		b := Generate(DefaultRegistry(), GitTablesProfile(20), seed)
+		return a.Stats() == b.Stats()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package corpus_test
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+)
+
+func ExampleGenerate() {
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(50), 1)
+	stats := ds.Stats()[0]
+	fmt.Printf("tables=%d splits=%d/%d/%d type-less=%.0f%%\n",
+		stats.Tables, len(ds.Train), len(ds.Val), len(ds.Test), stats.PctNoType)
+	// Output: tables=50 splits=40/5/5 type-less=0%
+}
+
+func ExampleRegistry_Subset() {
+	reg := corpus.DefaultRegistry().Subset([]string{"email", "city"})
+	fmt.Println(reg.Names())
+	// Output: [city email]
+}

@@ -1,0 +1,141 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Table serialization: one JSON object per line (JSONL), the same layout
+// GitTables-style corpora commonly ship in. Exporting lets external tooling
+// inspect generated corpora; importing lets the detector run over corpora
+// produced elsewhere (e.g. anonymized production schemas).
+
+// WriteJSONL writes tables to w, one JSON document per line.
+func WriteJSONL(w io.Writer, tables []*Table) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, t := range tables {
+		if err := enc.Encode(t); err != nil {
+			return fmt.Errorf("corpus: encode table %d (%s): %w", i, t.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads tables produced by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]*Table, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []*Table
+	for {
+		var t Table
+		if err := dec.Decode(&t); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpus: decode table %d: %w", len(out), err)
+		}
+		if err := validateTable(&t); err != nil {
+			return nil, fmt.Errorf("corpus: table %d: %w", len(out), err)
+		}
+		out = append(out, &t)
+	}
+	return out, nil
+}
+
+// validateTable rejects structurally broken imports early.
+func validateTable(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("missing table name")
+	}
+	rows := -1
+	seen := make(map[string]bool, len(t.Columns))
+	for i, c := range t.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("column %d of %s has no name", i, t.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("duplicate column %s.%s", t.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if rows == -1 {
+			rows = len(c.Values)
+		} else if len(c.Values) != rows {
+			return fmt.Errorf("column %s.%s has %d rows, expected %d", t.Name, c.Name, len(c.Values), rows)
+		}
+	}
+	return nil
+}
+
+// Save writes the dataset's three splits as JSONL files plus a manifest to
+// dir, creating it if needed.
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	manifest := struct {
+		Name  string   `json:"name"`
+		Types []string `json:"types"`
+	}{Name: d.Name, Types: d.Registry.Names()}
+	mb, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for _, split := range []struct {
+		name   string
+		tables []*Table
+	}{{"train", d.Train}, {"val", d.Val}, {"test", d.Test}} {
+		f, err := os.Create(filepath.Join(dir, split.name+".jsonl"))
+		if err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+		if err := WriteJSONL(f, split.tables); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a dataset saved by Save. The registry is reconstructed as the
+// subset of reg covering the manifest's type names; labels referencing
+// types absent from reg are preserved in the tables but will not be part of
+// the returned registry.
+func Load(dir string, reg *Registry) (*Dataset, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var manifest struct {
+		Name  string   `json:"name"`
+		Types []string `json:"types"`
+	}
+	if err := json.Unmarshal(mb, &manifest); err != nil {
+		return nil, fmt.Errorf("corpus: manifest: %w", err)
+	}
+	ds := &Dataset{Name: manifest.Name, Registry: reg.Subset(manifest.Types)}
+	for _, split := range []struct {
+		name string
+		dst  *[]*Table
+	}{{"train", &ds.Train}, {"val", &ds.Val}, {"test", &ds.Test}} {
+		f, err := os.Open(filepath.Join(dir, split.name+".jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		tables, err := ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s split: %w", split.name, err)
+		}
+		*split.dst = tables
+	}
+	return ds, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/adtd"
+	"repro/internal/metafeat"
+	"repro/internal/metrics"
+	"repro/internal/ruledet"
+	"repro/internal/sherlock"
+	"repro/internal/simdb"
+)
+
+// ExtrasResult extends the paper's comparison with the two pre-deep-learning
+// families its related work (§7) discusses: regular-expression/dictionary
+// validators and Sherlock-style engineered features. Both must scan every
+// column, like the DL baselines.
+type ExtrasResult struct {
+	Runs map[string][]*RunResult
+}
+
+// Extras measures the traditional baselines on both datasets, alongside the
+// default Taste run for reference.
+func (s *Suite) Extras() *ExtrasResult {
+	res := &ExtrasResult{Runs: map[string][]*RunResult{}}
+	for _, dsName := range []string{Wiki, Git} {
+		var runs []*RunResult
+		runs = append(runs, s.runRuleBased(dsName))
+		runs = append(runs, s.runSherlock(dsName))
+		if taste := findRun(s.MainRuns(dsName), "Taste"); taste != nil {
+			runs = append(runs, taste)
+		}
+		res.Runs[dsName] = runs
+	}
+	return res
+}
+
+// runRuleBased executes the regex/dictionary detector end to end: metadata
+// is useless to it, so it goes straight to full-content scans.
+func (s *Suite) runRuleBased(dsName string) *RunResult {
+	ds := s.Dataset(dsName)
+	det := ruledet.Default()
+	truth := truthOf(ds.Test)
+	res := &RunResult{Name: "Rules (regex+dict)", Dataset: dsName}
+
+	server := s.newTestServer(ds)
+	start := time.Now()
+	acc := metrics.NewF1Accumulator()
+	conn, err := server.Connect("tenant")
+	if err != nil {
+		panic(err)
+	}
+	tables, err := conn.ListTables()
+	if err != nil {
+		panic(err)
+	}
+	for _, tn := range tables {
+		content, cols := s.scanWholeTable(conn, tn)
+		for _, col := range cols {
+			res.TotalColumns++
+			res.ScannedCols++
+			acc.Add(det.DetectColumn(content[col]), truth[tn+"."+col])
+		}
+	}
+	conn.Close()
+	res.Duration = time.Since(start)
+	res.Precision, res.Recall, res.F1 = acc.Precision(), acc.Recall(), acc.F1()
+	s.logf("experiments: %-22s %-9s time=%-12v F1=%.4f", res.Name, dsName, res.Duration.Round(time.Millisecond), res.F1)
+	return res
+}
+
+// runSherlock trains (once) and executes the feature-based detector.
+func (s *Suite) runSherlock(dsName string) *RunResult {
+	ds := s.Dataset(dsName)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+	model := sherlock.New(types, 96, s.Cfg.Seed)
+	cfg := sherlock.DefaultTrainConfig()
+	cfg.Log = s.Cfg.Log
+	if _, err := sherlock.Train(model, ds.Train, cfg); err != nil {
+		panic(fmt.Sprintf("experiments: sherlock: %v", err))
+	}
+	model.SetEval()
+	truth := truthOf(ds.Test)
+	res := &RunResult{Name: "Sherlock (features)", Dataset: dsName}
+
+	server := s.newTestServer(ds)
+	start := time.Now()
+	acc := metrics.NewF1Accumulator()
+	conn, err := server.Connect("tenant")
+	if err != nil {
+		panic(err)
+	}
+	tables, err := conn.ListTables()
+	if err != nil {
+		panic(err)
+	}
+	for _, tn := range tables {
+		content, cols := s.scanWholeTable(conn, tn)
+		for _, col := range cols {
+			res.TotalColumns++
+			res.ScannedCols++
+			probs := model.PredictColumn(content[col])
+			var admitted []string
+			for j, p := range probs {
+				if j == 0 {
+					continue
+				}
+				if p >= 0.5 {
+					admitted = append(admitted, types.Name(j))
+				}
+			}
+			acc.Add(admitted, truth[tn+"."+col])
+		}
+	}
+	conn.Close()
+	res.Duration = time.Since(start)
+	res.Precision, res.Recall, res.F1 = acc.Precision(), acc.Recall(), acc.F1()
+	s.logf("experiments: %-22s %-9s time=%-12v F1=%.4f", res.Name, dsName, res.Duration.Round(time.Millisecond), res.F1)
+	return res
+}
+
+// scanWholeTable fetches metadata and full content for every column,
+// returning content by column name plus the ordered column names.
+func (s *Suite) scanWholeTable(conn *simdb.Conn, table string) (map[string][]string, []string) {
+	tm, err := conn.TableMetadata(table)
+	if err != nil {
+		panic(err)
+	}
+	info := metafeat.FromTableMeta(tm)
+	names := make([]string, len(info.Columns))
+	for i, c := range info.Columns {
+		names[i] = c.Name
+	}
+	content, err := conn.ScanColumns(table, names, simdb.ScanOptions{Strategy: simdb.FirstRows, Rows: 50})
+	if err != nil {
+		panic(err)
+	}
+	return content, names
+}
+
+// String renders the extras comparison.
+func (r *ExtrasResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extras: pre-DL baselines (related work §7) vs Taste\n")
+	for _, ds := range []string{Wiki, Git} {
+		fmt.Fprintf(&b, "%s dataset\n", ds)
+		fmt.Fprintf(&b, "  %-24s %12s %10s %10s %10s\n", "Approach", "time", "P", "R", "F1")
+		for _, run := range r.Runs[ds] {
+			fmt.Fprintf(&b, "  %-24s %12v %10.4f %10.4f %10.4f\n",
+				run.Name, run.Duration.Round(time.Millisecond), run.Precision, run.Recall, run.F1)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package metafeat
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+	"repro/internal/simdb"
+)
+
+func sampleTable() *corpus.Table {
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(5), 1)
+	return ds.Test[0]
+}
+
+func TestFromCorpusTable(t *testing.T) {
+	src := sampleTable()
+	ti := FromCorpusTable(src, false, 0)
+	if ti.Name != src.Name || ti.RowCount != src.Rows() || len(ti.Columns) != len(src.Columns) {
+		t.Fatalf("conversion mismatch: %+v", ti)
+	}
+	for i, c := range ti.Columns {
+		if c.Stats != nil {
+			t.Fatal("stats must be nil when withStats=false")
+		}
+		if len(c.Values) != src.Rows() {
+			t.Fatalf("column %d values missing", i)
+		}
+	}
+	withStats := FromCorpusTable(src, true, 8)
+	for _, c := range withStats.Columns {
+		if c.Stats == nil {
+			t.Fatal("stats missing when withStats=true")
+		}
+	}
+}
+
+func TestFromTableMetaMatchesCorpusView(t *testing.T) {
+	src := sampleTable()
+	s := simdb.NewServer(simdb.NoLatency)
+	s.LoadTables("db", []*corpus.Table{src})
+	conn, err := s.Connect("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	tm, err := conn.TableMetadata(src.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := FromTableMeta(tm)
+	if ti.Name != src.Name || len(ti.Columns) != len(src.Columns) {
+		t.Fatalf("mismatch: %+v", ti)
+	}
+	for i, c := range ti.Columns {
+		if c.Values != nil {
+			t.Fatal("metadata view must not carry content")
+		}
+		if c.Name != src.Columns[i].Name {
+			t.Fatalf("column %d name mismatch", i)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	ti := &TableInfo{Name: "t"}
+	for i := 0; i < 7; i++ {
+		ti.Columns = append(ti.Columns, &ColumnInfo{Name: string(rune('a' + i))})
+	}
+	parts := ti.Split(3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	if len(parts[0].Columns) != 3 || len(parts[2].Columns) != 1 {
+		t.Fatalf("bad part sizes: %d/%d/%d", len(parts[0].Columns), len(parts[1].Columns), len(parts[2].Columns))
+	}
+	for _, p := range parts {
+		if p.Name != "t" {
+			t.Fatal("parts must share table-level metadata")
+		}
+	}
+	if got := ti.Split(0); len(got) != 1 || got[0] != ti {
+		t.Fatal("l<=0 must not split")
+	}
+	if got := ti.Split(100); len(got) != 1 {
+		t.Fatal("l beyond width must not split")
+	}
+}
+
+func TestNonTextualSQLTypeOneHot(t *testing.T) {
+	c := &ColumnInfo{DataType: "INT"}
+	f := NonTextual(c, 100, false)
+	if len(f) != NonTextualDim {
+		t.Fatalf("feature dim %d, want %d", len(f), NonTextualDim)
+	}
+	ones := 0
+	for i := 0; i < 8; i++ {
+		if f[i] == 1 {
+			ones++
+		}
+	}
+	if ones != 1 || f[1] != 1 {
+		t.Fatalf("INT one-hot wrong: %v", f[:8])
+	}
+	// Unknown data type: all-zero one-hot block, no panic.
+	g := NonTextual(&ColumnInfo{DataType: "GEOMETRY"}, 100, false)
+	for i := 0; i < 8; i++ {
+		if g[i] != 0 {
+			t.Fatal("unknown data type must not set one-hot bits")
+		}
+	}
+}
+
+func TestNonTextualStatsGated(t *testing.T) {
+	stats := simdb.ComputeStats([]string{"12", "34", "56", ""}, 4)
+	c := &ColumnInfo{DataType: "VARCHAR", Stats: stats}
+	withStats := NonTextual(c, 4, true)
+	withoutStats := NonTextual(c, 4, false)
+	if withStats[9] != 1 {
+		t.Fatal("hasStats flag should be set")
+	}
+	if withoutStats[9] != 0 {
+		t.Fatal("includeStats=false must zero the stats block")
+	}
+	diff := false
+	for i := 10; i < NonTextualDim; i++ {
+		if withoutStats[i] != 0 {
+			t.Fatalf("stats feature %d leaked: %v", i, withoutStats[i])
+		}
+		if withStats[i] != 0 {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("stats block should carry signal when enabled")
+	}
+}
+
+func TestNonTextualBounded(t *testing.T) {
+	// Extreme values must stay in a sane range for direct concatenation
+	// with latent features.
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = "123456789012345678901234567890123456789012345"
+	}
+	stats := simdb.ComputeStats(vals, 8)
+	f := NonTextual(&ColumnInfo{DataType: "BIGINT", Stats: stats}, 1000000000, true)
+	for i, v := range f {
+		if v < -2 || v > 2 {
+			t.Fatalf("feature %d = %v out of range", i, v)
+		}
+	}
+}
+
+func TestNonTextualDistinguishesLengths(t *testing.T) {
+	phone := simdb.ComputeStats([]string{"15551234567", "15559876543"}, 4)
+	card := simdb.ComputeStats([]string{"4111222233334444", "4222333344445555"}, 4)
+	fPhone := NonTextual(&ColumnInfo{DataType: "VARCHAR", Stats: phone}, 2, true)
+	fCard := NonTextual(&ColumnInfo{DataType: "VARCHAR", Stats: card}, 2, true)
+	if fPhone[14] == fCard[14] { // AvgLen feature
+		t.Fatal("length features must separate phone numbers from card numbers")
+	}
+}
+
+// Property: Split never loses or duplicates columns and preserves order.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(nRaw uint8, lRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		l := int(lRaw % 25) // 0 = no split
+		ti := &TableInfo{Name: "t"}
+		for i := 0; i < n; i++ {
+			ti.Columns = append(ti.Columns, &ColumnInfo{Name: fmt.Sprintf("c%d", i)})
+		}
+		parts := ti.Split(l)
+		var names []string
+		for _, p := range parts {
+			if l > 0 && len(p.Columns) > l {
+				return false
+			}
+			for _, c := range p.Columns {
+				names = append(names, c.Name)
+			}
+		}
+		if len(names) != n {
+			return false
+		}
+		for i, name := range names {
+			if name != fmt.Sprintf("c%d", i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+func ExampleF1Accumulator() {
+	acc := metrics.NewF1Accumulator()
+	acc.Add([]string{"email"}, []string{"email"})                      // true positive
+	acc.Add([]string{"city"}, []string{"country"})                     // fp + fn
+	acc.Add(nil, nil)                                                  // type-less column, correct
+	acc.Add([]string{"phone_number"}, []string{"phone_number", "ssn"}) // tp + fn
+	fmt.Printf("P=%.3f R=%.3f F1=%.3f\n", acc.Precision(), acc.Recall(), acc.F1())
+	// Output: P=0.667 R=0.500 F1=0.571
+}

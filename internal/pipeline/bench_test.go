@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mixedJobs builds jobs alternating sleep-bound prep stages with spin-bound
+// infer stages, the resource split Algorithm 1 exploits.
+func mixedJobs(n int, prep, infer time.Duration) []*Job {
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		j := &Job{ID: fmt.Sprintf("t%d", i)}
+		for k := 0; k < 4; k++ {
+			kind := Prep
+			d := prep
+			if k%2 == 1 {
+				kind = Infer
+				d = infer
+			}
+			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func() error {
+				time.Sleep(d)
+				return nil
+			}})
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+func BenchmarkSequentialExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := (Scheduler{}).Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelinedExecution(b *testing.B) {
+	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelinedWidePools(b *testing.B) {
+	s := Scheduler{Pipelined: true, PrepWorkers: 8, InferWorkers: 8}
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingJob builds a 4-stage job (prep, infer, prep, infer) that records
+// stage start/end events.
+type event struct {
+	job   string
+	stage int
+	kind  StageKind
+	what  string // "start" | "end"
+}
+
+type recorder struct {
+	mu     sync.Mutex
+	events []event
+}
+
+func (r *recorder) add(e event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func makeJob(r *recorder, id string, d time.Duration) *Job {
+	j := &Job{ID: id}
+	for i := 0; i < 4; i++ {
+		kind := Prep
+		if i%2 == 1 {
+			kind = Infer
+		}
+		i := i
+		j.Stages = append(j.Stages, Stage{
+			Kind: kind,
+			Name: fmt.Sprintf("%s/%d", id, i),
+			Run: func() error {
+				r.add(event{id, i, kind, "start"})
+				time.Sleep(d)
+				r.add(event{id, i, kind, "end"})
+				return nil
+			},
+		})
+	}
+	return j
+}
+
+func TestSequentialRunsInOrder(t *testing.T) {
+	r := &recorder{}
+	jobs := []*Job{makeJob(r, "a", 0), makeJob(r, "b", 0)}
+	s := Scheduler{Pipelined: false}
+	if err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.events) != 16 {
+		t.Fatalf("events = %d", len(r.events))
+	}
+	// Strict sequential order: a0..a3 then b0..b3.
+	for i, e := range r.events {
+		wantJob := "a"
+		idx := i
+		if i >= 8 {
+			wantJob = "b"
+			idx = i - 8
+		}
+		if e.job != wantJob || e.stage != idx/2 {
+			t.Fatalf("event %d = %+v, want job %s stage %d", i, e, wantJob, idx/2)
+		}
+	}
+}
+
+func TestPipelinedPreservesPerJobOrder(t *testing.T) {
+	r := &recorder{}
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, makeJob(r, fmt.Sprintf("j%d", i), time.Millisecond))
+	}
+	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
+	if err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// For each job, stage starts must be ordered and each stage must start
+	// only after the previous ended.
+	lastEnd := map[string]int{}
+	for _, e := range r.events {
+		if e.what == "start" {
+			if e.stage != lastEnd[e.job] {
+				t.Fatalf("job %s stage %d started before stage %d finished", e.job, e.stage, lastEnd[e.job])
+			}
+		} else {
+			lastEnd[e.job] = e.stage + 1
+		}
+	}
+	for _, j := range jobs {
+		if j.Err != nil {
+			t.Fatalf("job %s failed: %v", j.ID, j.Err)
+		}
+	}
+}
+
+func TestPipelinedOverlapsStages(t *testing.T) {
+	r := &recorder{}
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, makeJob(r, fmt.Sprintf("j%d", i), 3*time.Millisecond))
+	}
+	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
+	if err := s.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Overlap check: some stage must start while a stage of another job is
+	// still running.
+	running := map[string]bool{}
+	overlap := false
+	for _, e := range r.events {
+		if e.what == "start" {
+			for other := range running {
+				if other != e.job {
+					overlap = true
+				}
+			}
+			running[e.job] = true
+		} else {
+			delete(running, e.job)
+		}
+	}
+	if !overlap {
+		t.Fatal("pipelined execution never overlapped jobs")
+	}
+}
+
+func TestPipelinedFasterThanSequential(t *testing.T) {
+	mk := func() []*Job {
+		r := &recorder{}
+		var jobs []*Job
+		for i := 0; i < 6; i++ {
+			jobs = append(jobs, makeJob(r, fmt.Sprintf("j%d", i), 2*time.Millisecond))
+		}
+		return jobs
+	}
+	start := time.Now()
+	Scheduler{Pipelined: false}.Run(mk())
+	seq := time.Since(start)
+	start = time.Now()
+	Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}.Run(mk())
+	pipe := time.Since(start)
+	if pipe >= seq {
+		t.Fatalf("pipelined (%v) not faster than sequential (%v)", pipe, seq)
+	}
+}
+
+func TestPoolSizeRespected(t *testing.T) {
+	var active, maxActive int64
+	var jobs []*Job
+	for i := 0; i < 10; i++ {
+		j := &Job{ID: fmt.Sprintf("j%d", i)}
+		j.Stages = append(j.Stages, Stage{Kind: Prep, Name: "p", Run: func() error {
+			cur := atomic.AddInt64(&active, 1)
+			for {
+				old := atomic.LoadInt64(&maxActive)
+				if cur <= old || atomic.CompareAndSwapInt64(&maxActive, old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt64(&active, -1)
+			return nil
+		}})
+		jobs = append(jobs, j)
+	}
+	Scheduler{Pipelined: true, PrepWorkers: 3, InferWorkers: 1}.Run(jobs)
+	if m := atomic.LoadInt64(&maxActive); m > 3 {
+		t.Fatalf("prep concurrency %d exceeded pool size 3", m)
+	}
+}
+
+func TestFailedStageCancelsJobOnly(t *testing.T) {
+	boom := errors.New("boom")
+	ran := make(map[string]bool)
+	var mu sync.Mutex
+	mark := func(k string) func() error {
+		return func() error {
+			mu.Lock()
+			ran[k] = true
+			mu.Unlock()
+			return nil
+		}
+	}
+	bad := &Job{ID: "bad", Stages: []Stage{
+		{Kind: Prep, Name: "bad/0", Run: func() error { return boom }},
+		{Kind: Infer, Name: "bad/1", Run: mark("bad/1")},
+	}}
+	good := &Job{ID: "good", Stages: []Stage{
+		{Kind: Prep, Name: "good/0", Run: mark("good/0")},
+		{Kind: Infer, Name: "good/1", Run: mark("good/1")},
+	}}
+	for _, pipelined := range []bool{false, true} {
+		ran = map[string]bool{}
+		bad.Err, good.Err = nil, nil
+		s := Scheduler{Pipelined: pipelined, PrepWorkers: 1, InferWorkers: 1}
+		if err := s.Run([]*Job{bad, good}); err != nil {
+			t.Fatal(err)
+		}
+		if bad.Err == nil || !errors.Is(bad.Err, boom) {
+			t.Fatalf("pipelined=%v: bad job error = %v", pipelined, bad.Err)
+		}
+		if ran["bad/1"] {
+			t.Fatalf("pipelined=%v: failed job's later stages must not run", pipelined)
+		}
+		if !ran["good/0"] || !ran["good/1"] {
+			t.Fatalf("pipelined=%v: other jobs must complete", pipelined)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 0, InferWorkers: 1}).Run(nil); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if err := (Scheduler{Pipelined: false}).Run(nil); err != nil {
+		t.Fatalf("sequential with no workers must be fine: %v", err)
+	}
+}
+
+func TestEmptyJobList(t *testing.T) {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobWithNoStages(t *testing.T) {
+	j := &Job{ID: "empty"}
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run([]*Job{j}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageKindString(t *testing.T) {
+	if Prep.String() != "prep" || Infer.String() != "infer" {
+		t.Fatal("StageKind strings wrong")
+	}
+}
+
+func TestManyJobsStress(t *testing.T) {
+	var done int64
+	var jobs []*Job
+	for i := 0; i < 200; i++ {
+		j := &Job{ID: fmt.Sprintf("j%d", i)}
+		for k := 0; k < 4; k++ {
+			kind := Prep
+			if k%2 == 1 {
+				kind = Infer
+			}
+			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func() error {
+				atomic.AddInt64(&done, 1)
+				return nil
+			}})
+		}
+		jobs = append(jobs, j)
+	}
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 4, InferWorkers: 4}).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if done != 800 {
+		t.Fatalf("ran %d stages, want 800", done)
+	}
+}

@@ -1,0 +1,18 @@
+package ruledet_test
+
+import (
+	"fmt"
+
+	"repro/internal/ruledet"
+)
+
+func ExampleDetector_DetectColumn() {
+	det := ruledet.Default()
+	fmt.Println(det.DetectColumn([]string{"10.0.0.1", "192.168.1.1", "172.16.0.9"}))
+	fmt.Println(det.DetectColumn([]string{"wei.chen@mail.net", "omar.ali@corp.org"}))
+	fmt.Println(det.DetectColumn([]string{"golden hour", "paper skies"})) // free text: no rule fires
+	// Output:
+	// [ip_address]
+	// [email]
+	// []
+}

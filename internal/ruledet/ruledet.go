@@ -1,0 +1,222 @@
+// Package ruledet implements the traditional, non-learning semantic type
+// detection the paper's introduction and related work (§7) position the
+// DL-based systems against: per-type validators built from regular
+// expressions, dictionaries, and checksum protocols (the Trifacta /
+// Auto-Validate family). A column is assigned a type when a large enough
+// fraction of its sampled values pass that type's validator.
+//
+// Like the content-based DL baselines it must scan every column, and unlike
+// them it only covers types whose values obey a recognizable pattern —
+// exactly the limitation (§7: "intrinsically rely on alphabet statistics …
+// fail to leverage rich tabular context") that motivated learned detectors.
+package ruledet
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule validates single values of one semantic type.
+type Rule struct {
+	// Type is the semantic type this rule detects.
+	Type string
+	// Match reports whether one cell value conforms.
+	Match func(v string) bool
+	// Priority breaks ties when several rules pass (higher wins); more
+	// specific patterns should outrank catch-alls.
+	Priority int
+}
+
+// Detector assigns types by validating sampled column content.
+type Detector struct {
+	rules []Rule
+	// MinSupport is the fraction of non-empty sampled values that must
+	// match for a type to be admitted (default 0.9).
+	MinSupport float64
+}
+
+// New creates a detector over the given rules.
+func New(rules []Rule) *Detector {
+	return &Detector{rules: rules, MinSupport: 0.9}
+}
+
+// Default returns a detector covering the pattern-friendly subset of the
+// built-in type domain.
+func Default() *Detector {
+	return New(DefaultRules())
+}
+
+// DetectColumn returns the admitted types for a column's sampled values,
+// sorted by descending priority then name. Empty values are ignored; a
+// column with no non-empty values gets no types.
+func (d *Detector) DetectColumn(values []string) []string {
+	nonEmpty := 0
+	hits := make(map[string]int)
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		for _, r := range d.rules {
+			if r.Match(v) {
+				hits[r.Type]++
+			}
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	type cand struct {
+		typ      string
+		priority int
+	}
+	var out []cand
+	for _, r := range d.rules {
+		if float64(hits[r.Type]) >= d.MinSupport*float64(nonEmpty) {
+			out = append(out, cand{r.Type, r.Priority})
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].priority != out[j].priority {
+			return out[i].priority > out[j].priority
+		}
+		return out[i].typ < out[j].typ
+	})
+	// Admit only the top-priority tier: "credit card" should suppress the
+	// generic "all digits" interpretations below it.
+	top := out[0].priority
+	var names []string
+	for _, c := range out {
+		if c.priority == top {
+			names = append(names, c.typ)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+var (
+	reEmail    = regexp.MustCompile(`^[a-z0-9._%+\-]+@[a-z0-9.\-]+\.[a-z]{2,}$`)
+	reIPv4     = regexp.MustCompile(`^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$`)
+	reMAC      = regexp.MustCompile(`^([0-9a-f]{2}:){5}[0-9a-f]{2}$`)
+	reURL      = regexp.MustCompile(`^https?://[^\s]+$`)
+	reUUID     = regexp.MustCompile(`^[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}$`)
+	reSSN      = regexp.MustCompile(`^\d{3}-\d{2}-\d{4}$`)
+	reZip      = regexp.MustCompile(`^\d{5}$`)
+	rePhone    = regexp.MustCompile(`^1\d{10}$`)
+	reCard     = regexp.MustCompile(`^\d{16}$`)
+	reISBN     = regexp.MustCompile(`^97[89]-\d-\d{4}-\d{4}-\d$`)
+	reIBAN     = regexp.MustCompile(`^[A-Z]{2}\d{20}$`)
+	reDate     = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+	reDatetime = regexp.MustCompile(`^\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2}$`)
+	reHexColor = regexp.MustCompile(`^#[0-9a-f]{6}$`)
+	reVersion  = regexp.MustCompile(`^\d+\.\d+\.\d+$`)
+	reMime     = regexp.MustCompile(`^[a-z]+/[a-z0-9.+\-]+$`)
+	rePassport = regexp.MustCompile(`^[A-Z]\d{8}$`)
+	rePlate    = regexp.MustCompile(`^[A-Z]{2}\d{2}-[A-Z]{3}$`)
+	reSKU      = regexp.MustCompile(`^[A-Z]{3}-\d{4}$`)
+)
+
+// LuhnValid reports whether digits pass the Luhn checksum used by payment
+// card numbers (the "synthesized validation function" family of §7).
+func LuhnValid(s string) bool {
+	sum := 0
+	double := false
+	for i := len(s) - 1; i >= 0; i-- {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return false
+		}
+		d := int(c - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}
+
+func inSet(values ...string) func(string) bool {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[strings.ToLower(v)] = true
+	}
+	return func(v string) bool { return set[strings.ToLower(v)] }
+}
+
+func validIPv4(v string) bool {
+	m := reIPv4.FindStringSubmatch(v)
+	if m == nil {
+		return false
+	}
+	for _, part := range m[1:] {
+		n, err := strconv.Atoi(part)
+		if err != nil || n > 255 {
+			return false
+		}
+	}
+	return true
+}
+
+func validDate(v string) bool {
+	if !reDate.MatchString(v) {
+		return false
+	}
+	month, _ := strconv.Atoi(v[5:7])
+	day, _ := strconv.Atoi(v[8:10])
+	return month >= 1 && month <= 12 && day >= 1 && day <= 31
+}
+
+// DefaultRules covers the pattern/dictionary-friendly types of the built-in
+// domain. Priorities: 3 = checksum/protocol, 2 = strict pattern,
+// 1 = dictionary, 0 = loose numeric range.
+func DefaultRules() []Rule {
+	months := inSet("january", "february", "march", "april", "may", "june", "july", "august", "september", "october", "november", "december")
+	weekdays := inSet("monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday")
+	currencies := inSet("USD", "EUR", "JPY", "GBP", "CNY", "AUD", "CAD", "CHF", "SEK", "INR")
+	genders := inSet("male", "female", "other", "unknown")
+	return []Rule{
+		{Type: "email", Priority: 2, Match: reEmail.MatchString},
+		{Type: "ip_address", Priority: 3, Match: validIPv4},
+		{Type: "mac_address", Priority: 2, Match: reMAC.MatchString},
+		{Type: "url", Priority: 2, Match: reURL.MatchString},
+		{Type: "uuid", Priority: 2, Match: reUUID.MatchString},
+		{Type: "ssn", Priority: 2, Match: reSSN.MatchString},
+		{Type: "zip_code", Priority: 2, Match: reZip.MatchString},
+		{Type: "phone_number", Priority: 2, Match: rePhone.MatchString},
+		{Type: "credit_card_number", Priority: 3, Match: func(v string) bool { return reCard.MatchString(v) && LuhnValid(v) }},
+		// Non-checksummed 16-digit fallback, below the Luhn rule.
+		{Type: "credit_card_number", Priority: 2, Match: reCard.MatchString},
+		{Type: "isbn", Priority: 2, Match: reISBN.MatchString},
+		{Type: "iban", Priority: 2, Match: reIBAN.MatchString},
+		{Type: "date", Priority: 2, Match: validDate},
+		{Type: "datetime", Priority: 2, Match: reDatetime.MatchString},
+		{Type: "hex_color", Priority: 2, Match: reHexColor.MatchString},
+		{Type: "version", Priority: 2, Match: reVersion.MatchString},
+		{Type: "mime_type", Priority: 2, Match: reMime.MatchString},
+		{Type: "passport_number", Priority: 2, Match: rePassport.MatchString},
+		{Type: "license_plate", Priority: 2, Match: rePlate.MatchString},
+		{Type: "sku", Priority: 2, Match: reSKU.MatchString},
+		{Type: "month", Priority: 1, Match: months},
+		{Type: "weekday", Priority: 1, Match: weekdays},
+		{Type: "currency", Priority: 1, Match: currencies},
+		{Type: "gender", Priority: 1, Match: genders},
+		{Type: "year", Priority: 0, Match: func(v string) bool {
+			n, err := strconv.Atoi(v)
+			return err == nil && len(v) == 4 && n >= 1900 && n <= 2025
+		}},
+		{Type: "age", Priority: 0, Match: func(v string) bool {
+			n, err := strconv.Atoi(v)
+			return err == nil && n >= 1 && n <= 99 && len(v) <= 2
+		}},
+	}
+}

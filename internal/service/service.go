@@ -1,0 +1,277 @@
+// Package service exposes the Taste detector as a JSON-over-HTTP cloud
+// service, the deployment surface the paper targets (§2.2): tenants
+// register their databases with the service and request semantic type
+// detection without granting it more access than the two-phase framework
+// needs. Built on net/http only.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe
+//	GET  /v1/types             the semantic type domain
+//	POST /v1/detect            {"database": "...", "tables": ["t1"]?, "pipelined": bool}
+//	POST /v1/feedback          {"database", "table", "column", "labels": [...]}
+//	GET  /v1/stats             accounting ledger + latent cache statistics
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metafeat"
+	"repro/internal/simdb"
+)
+
+// Service wires a detector to one or more tenant database servers.
+type Service struct {
+	detector *core.Detector
+	mu       sync.RWMutex
+	tenants  map[string]*simdb.Server
+}
+
+// New creates a service around a detector.
+func New(det *core.Detector) *Service {
+	return &Service{detector: det, tenants: make(map[string]*simdb.Server)}
+}
+
+// RegisterTenant attaches a database server under the given database name.
+func (s *Service) RegisterTenant(dbName string, server *simdb.Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants[dbName] = server
+}
+
+func (s *Service) tenant(dbName string) (*simdb.Server, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	server, ok := s.tenants[dbName]
+	return server, ok
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/types", s.handleTypes)
+	mux.HandleFunc("/v1/detect", s.handleDetect)
+	mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleTypes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	names := s.detector.Model.Types.Names()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"types": names[1:], "background": names[0]})
+}
+
+// DetectRequest is the /v1/detect payload.
+type DetectRequest struct {
+	Database  string   `json:"database"`
+	Tables    []string `json:"tables,omitempty"` // empty = all tables
+	Pipelined bool     `json:"pipelined"`
+}
+
+// DetectColumn is one column's outcome in a DetectResponse.
+type DetectColumn struct {
+	Column  string   `json:"column"`
+	Types   []string `json:"types"`
+	Phase   int      `json:"phase"`
+	Scanned bool     `json:"scanned"`
+}
+
+// DetectTable is one table's outcome.
+type DetectTable struct {
+	Table   string         `json:"table"`
+	Columns []DetectColumn `json:"columns"`
+}
+
+// DetectResponse is the /v1/detect reply.
+type DetectResponse struct {
+	Database       string        `json:"database"`
+	Tables         []DetectTable `json:"tables"`
+	DurationMillis int64         `json:"duration_ms"`
+	TotalColumns   int           `json:"total_columns"`
+	ScannedColumns int           `json:"scanned_columns"`
+	Errors         []string      `json:"errors,omitempty"`
+}
+
+func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req DetectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	server, ok := s.tenant(req.Database)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		return
+	}
+
+	resp := DetectResponse{Database: req.Database}
+	start := time.Now()
+	if len(req.Tables) == 0 {
+		mode := core.SequentialMode
+		if req.Pipelined {
+			mode = core.PipelinedMode()
+		}
+		rep, err := s.detector.DetectDatabase(server, req.Database, mode)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "detection failed: %v", err)
+			return
+		}
+		for _, tr := range rep.Tables {
+			resp.Tables = append(resp.Tables, toDetectTable(tr))
+		}
+		resp.TotalColumns = rep.TotalColumns
+		resp.ScannedColumns = rep.ScannedColumns
+		for _, e := range rep.Errors {
+			resp.Errors = append(resp.Errors, e.Error())
+		}
+	} else {
+		conn, err := server.Connect(req.Database)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "connect: %v", err)
+			return
+		}
+		defer conn.Close()
+		for _, table := range req.Tables {
+			tr, err := s.detector.DetectTable(conn, req.Database, table)
+			if err != nil {
+				resp.Errors = append(resp.Errors, err.Error())
+				continue
+			}
+			resp.Tables = append(resp.Tables, toDetectTable(tr))
+			resp.TotalColumns += len(tr.Columns)
+			resp.ScannedColumns += tr.ScannedColumns
+		}
+	}
+	resp.DurationMillis = time.Since(start).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toDetectTable(tr *core.TableResult) DetectTable {
+	out := DetectTable{Table: tr.Table}
+	for _, c := range tr.Columns {
+		types := c.Admitted
+		if types == nil {
+			types = []string{}
+		}
+		out.Columns = append(out.Columns, DetectColumn{
+			Column:  c.Column,
+			Types:   types,
+			Phase:   c.Phase,
+			Scanned: c.Phase == 2,
+		})
+	}
+	return out
+}
+
+// FeedbackRequest is the /v1/feedback payload: the tenant corrects a
+// column's types; the service adapts online (§8).
+type FeedbackRequest struct {
+	Database string   `json:"database"`
+	Table    string   `json:"table"`
+	Column   string   `json:"column"`
+	Labels   []string `json:"labels"`
+}
+
+func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	server, ok := s.tenant(req.Database)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		return
+	}
+	conn, err := server.Connect(req.Database)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "connect: %v", err)
+		return
+	}
+	defer conn.Close()
+	tm, err := conn.TableMetadata(req.Table)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "table: %v", err)
+		return
+	}
+	info := metafeat.FromTableMeta(tm)
+	col := -1
+	for i, c := range info.Columns {
+		if c.Name == req.Column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		writeError(w, http.StatusNotFound, "unknown column %q", req.Column)
+		return
+	}
+	if err := s.detector.Feedback(info, col, req.Labels); err != nil {
+		writeError(w, http.StatusInternalServerError, "feedback: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"applied":   true,
+		"feedbacks": len(s.detector.FeedbackLog()),
+	})
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	Tenants map[string]simdb.AccountingSnapshot `json:"tenants"`
+	Cache   struct {
+		Hits   int `json:"hits"`
+		Misses int `json:"misses"`
+		Size   int `json:"size"`
+	} `json:"cache"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	resp := StatsResponse{Tenants: map[string]simdb.AccountingSnapshot{}}
+	s.mu.RLock()
+	for name, server := range s.tenants {
+		resp.Tenants[name] = server.Accounting().Snapshot()
+	}
+	s.mu.RUnlock()
+	hits, misses := s.detector.Cache().Stats()
+	resp.Cache.Hits = hits
+	resp.Cache.Misses = misses
+	resp.Cache.Size = s.detector.Cache().Len()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adtd"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/simdb"
+)
+
+var shared struct {
+	once sync.Once
+	det  *core.Detector
+	ds   *corpus.Dataset
+	err  error
+}
+
+// testService builds a service around a lightly trained detector once per
+// test binary.
+func testService(t *testing.T) (*Service, *corpus.Dataset) {
+	t.Helper()
+	shared.once.Do(func() {
+		ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(60), 1)
+		tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 2000)
+		types := adtd.NewTypeSpace(ds.Registry.Names())
+		m, err := adtd.New(adtd.ReproScale(), tok, types, 3)
+		if err != nil {
+			shared.err = err
+			return
+		}
+		cfg := adtd.DefaultTrainConfig()
+		cfg.Epochs = 2
+		if _, err := adtd.FineTune(m, ds.Train, cfg); err != nil {
+			shared.err = err
+			return
+		}
+		det, err := core.NewDetector(m, core.DefaultOptions())
+		if err != nil {
+			shared.err = err
+			return
+		}
+		shared.det, shared.ds = det, ds
+	})
+	if shared.err != nil {
+		t.Fatal(shared.err)
+	}
+	svc := New(shared.det)
+	server := simdb.NewServer(simdb.NoLatency)
+	server.LoadTables("tenantdb", shared.ds.Test)
+	svc.RegisterTenant("tenantdb", server)
+	return svc, shared.ds
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	svc, _ := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestTypesEndpoint(t *testing.T) {
+	svc, ds := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodGet, "/v1/types", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Types      []string `json:"types"`
+		Background string   `json:"background"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Types) != ds.Registry.Len() {
+		t.Fatalf("types = %d, want %d", len(resp.Types), ds.Registry.Len())
+	}
+	if resp.Background != corpus.NullType {
+		t.Fatalf("background = %q", resp.Background)
+	}
+	if rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/types", nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST should be rejected, got %d", rec.Code)
+	}
+}
+
+func TestDetectWholeDatabase(t *testing.T) {
+	svc, ds := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb", Pipelined: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != len(ds.Test) {
+		t.Fatalf("tables = %d, want %d", len(resp.Tables), len(ds.Test))
+	}
+	if resp.TotalColumns == 0 {
+		t.Fatal("no columns")
+	}
+	for _, tb := range resp.Tables {
+		for _, c := range tb.Columns {
+			if c.Types == nil {
+				t.Fatal("types must serialize as [] not null")
+			}
+			if c.Scanned != (c.Phase == 2) {
+				t.Fatal("scanned flag inconsistent with phase")
+			}
+		}
+	}
+}
+
+func TestDetectSpecificTables(t *testing.T) {
+	svc, ds := testService(t)
+	want := ds.Test[0].Name
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb", Tables: []string{want}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != 1 || resp.Tables[0].Table != want {
+		t.Fatalf("resp tables = %+v", resp.Tables)
+	}
+}
+
+func TestDetectUnknownDatabase(t *testing.T) {
+	svc, _ := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "ghost"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestDetectBadBody(t *testing.T) {
+	svc, _ := testService(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestDetectUnknownTableReportsError(t *testing.T) {
+	svc, _ := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb", Tables: []string{"ghost_table"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Errors) != 1 {
+		t.Fatalf("errors = %v", resp.Errors)
+	}
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	svc, ds := testService(t)
+	table := ds.Test[0]
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/feedback", FeedbackRequest{
+		Database: "tenantdb",
+		Table:    table.Name,
+		Column:   table.Columns[0].Name,
+		Labels:   []string{"email"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `"applied":true`) {
+		t.Fatalf("body %s", rec.Body)
+	}
+	// Unknown column.
+	rec = doJSON(t, svc.Handler(), http.MethodPost, "/v1/feedback", FeedbackRequest{
+		Database: "tenantdb", Table: table.Name, Column: "ghost",
+	})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	svc, _ := testService(t)
+	// Produce some load first.
+	doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb"})
+	rec := doJSON(t, svc.Handler(), http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := resp.Tenants["tenantdb"]
+	if !ok {
+		t.Fatal("missing tenant stats")
+	}
+	if snap.Queries == 0 {
+		t.Fatal("no queries recorded")
+	}
+}

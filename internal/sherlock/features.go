@@ -1,0 +1,201 @@
+// Package sherlock implements a compact Sherlock-style detector (Hulsebos
+// et al., KDD'19; the paper's §7): hand-engineered statistical features
+// extracted from column content feeding a plain feed-forward network. It
+// provides a third comparison point between the rule-based detector
+// (internal/ruledet) and the Transformer systems: content-based like the DL
+// baselines (must scan everything), but with fixed features instead of
+// learned representations — and, like the original, completely blind to
+// metadata.
+package sherlock
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// FeatureDim is the width of the per-column feature vector: 26 letter
+// frequencies + 10 digit frequencies + 8 character-class/structure
+// features + 10 length/statistics features + 8 value-level aggregates.
+const FeatureDim = 26 + 10 + 8 + 10 + 8
+
+// Extract computes the feature vector for a column's sampled values.
+// Empty values are skipped; an all-empty column yields the zero vector.
+func Extract(values []string) []float64 {
+	f := make([]float64, FeatureDim)
+	var nonEmpty []string
+	for _, v := range values {
+		if v != "" {
+			nonEmpty = append(nonEmpty, v)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return f
+	}
+
+	// Character-level histograms over all text.
+	letters := f[0:26]
+	digits := f[26:36]
+	classes := f[36:44] // upper, lower, digit, space, punct, symbol, '.', '-'
+	totalChars := 0
+	for _, v := range nonEmpty {
+		for _, r := range v {
+			totalChars++
+			switch {
+			case r >= 'a' && r <= 'z':
+				letters[r-'a']++
+				classes[1]++
+			case r >= 'A' && r <= 'Z':
+				letters[r-'A']++
+				classes[0]++
+			case r >= '0' && r <= '9':
+				digits[r-'0']++
+				classes[2]++
+			case unicode.IsSpace(r):
+				classes[3]++
+			case r == '.':
+				classes[6]++
+			case r == '-':
+				classes[7]++
+			case unicode.IsPunct(r):
+				classes[4]++
+			default:
+				classes[5]++
+			}
+		}
+	}
+	if totalChars > 0 {
+		inv := 1 / float64(totalChars)
+		for i := 0; i < 44; i++ {
+			f[i] *= inv
+		}
+	}
+
+	// Length statistics.
+	lens := make([]float64, len(nonEmpty))
+	for i, v := range nonEmpty {
+		lens[i] = float64(len(v))
+	}
+	mean, std, minv, maxv := moments(lens)
+	lenBlock := f[44:54]
+	lenBlock[0] = mean / 32
+	lenBlock[1] = std / 16
+	lenBlock[2] = minv / 32
+	lenBlock[3] = maxv / 32
+	lenBlock[4] = float64(len(nonEmpty)) / float64(len(values)) // non-null ratio
+	distinct := make(map[string]bool, len(nonEmpty))
+	for _, v := range nonEmpty {
+		distinct[v] = true
+	}
+	lenBlock[5] = float64(len(distinct)) / float64(len(nonEmpty)) // distinct ratio
+	lenBlock[6] = entropy(nonEmpty)
+	// Token counts per value.
+	tokens := 0.0
+	for _, v := range nonEmpty {
+		tokens += float64(len(strings.Fields(v)))
+	}
+	lenBlock[7] = tokens / float64(len(nonEmpty)) / 8
+	// Constant-length indicator (protocol-shaped data).
+	if minv == maxv {
+		lenBlock[8] = 1
+	}
+	// Leading-character agreement: fraction sharing the most common first byte.
+	first := map[byte]int{}
+	for _, v := range nonEmpty {
+		first[v[0]]++
+	}
+	maxFirst := 0
+	for _, c := range first {
+		if c > maxFirst {
+			maxFirst = c
+		}
+	}
+	lenBlock[9] = float64(maxFirst) / float64(len(nonEmpty))
+
+	// Numeric aggregates.
+	numBlock := f[54:62]
+	var nums []float64
+	for _, v := range nonEmpty {
+		if x, err := strconv.ParseFloat(v, 64); err == nil {
+			nums = append(nums, x)
+		}
+	}
+	numBlock[0] = float64(len(nums)) / float64(len(nonEmpty)) // numeric ratio
+	if len(nums) > 0 {
+		nmean, nstd, nmin, nmax := moments(nums)
+		numBlock[1] = squash(nmean)
+		numBlock[2] = squash(nstd)
+		numBlock[3] = squash(nmin)
+		numBlock[4] = squash(nmax)
+		ints := 0
+		negative := 0
+		for _, x := range nums {
+			if x == math.Trunc(x) {
+				ints++
+			}
+			if x < 0 {
+				negative++
+			}
+		}
+		numBlock[5] = float64(ints) / float64(len(nums))
+		numBlock[6] = float64(negative) / float64(len(nums))
+		numBlock[7] = squash(nmax - nmin)
+	}
+	return f
+}
+
+// moments returns mean, standard deviation, min and max.
+func moments(xs []float64) (mean, std, minv, maxv float64) {
+	minv, maxv = xs[0], xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < minv {
+			minv = x
+		}
+		if x > maxv {
+			maxv = x
+		}
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return
+}
+
+// entropy returns the normalized Shannon entropy of the value distribution.
+func entropy(values []string) float64 {
+	counts := map[string]int{}
+	for _, v := range values {
+		counts[v]++
+	}
+	if len(counts) <= 1 {
+		return 0
+	}
+	h := 0.0
+	n := float64(len(values))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h / math.Log2(float64(len(counts)))
+}
+
+// squash maps a value of arbitrary magnitude into (-1, 1).
+func squash(v float64) float64 {
+	return math.Copysign(math.Log1p(math.Abs(v)), v) / 24
+}
+
+// sortedKeys is a test helper exposed for deterministic debugging output.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

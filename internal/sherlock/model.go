@@ -1,0 +1,150 @@
+package sherlock
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/adtd"
+	"repro/internal/corpus"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is the Sherlock-style classifier: a two-hidden-layer feed-forward
+// network over the fixed feature vector.
+type Model struct {
+	Types *adtd.TypeSpace
+
+	l1, l2 *nn.Linear
+	out    *nn.Linear
+}
+
+// New creates a randomly initialized model.
+func New(types *adtd.TypeSpace, hidden int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Types: types,
+		l1:    nn.NewLinear(FeatureDim, hidden, rng),
+		l2:    nn.NewLinear(hidden, hidden, rng),
+		out:   nn.NewLinear(hidden, types.Len(), rng),
+	}
+	m.out.B.Fill(-3) // sparse multi-label bias init, as in the other models
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*tensor.Tensor {
+	return nn.CollectParams(m.l1, m.l2, m.out)
+}
+
+// SetEval freezes parameters for inference.
+func (m *Model) SetEval() {
+	for _, p := range m.Params() {
+		p.SetRequiresGrad(false)
+	}
+}
+
+// SetTrain enables gradient tracking.
+func (m *Model) SetTrain() {
+	for _, p := range m.Params() {
+		p.SetRequiresGrad(true)
+	}
+}
+
+// Save serializes parameters.
+func (m *Model) Save(w io.Writer) error { return tensor.WriteTensors(w, m.Params()) }
+
+// Load restores parameters.
+func (m *Model) Load(r io.Reader) error { return tensor.ReadTensors(r, m.Params()) }
+
+func (m *Model) forward(features *tensor.Tensor) *tensor.Tensor {
+	h := tensor.ReLU(m.l1.Forward(features))
+	h = tensor.ReLU(m.l2.Forward(h))
+	return m.out.Forward(h)
+}
+
+// Predict returns per-column type probabilities for a batch of feature
+// vectors.
+func (m *Model) Predict(features [][]float64) [][]float64 {
+	return adtd.Sigmoid(m.forward(tensor.FromRows(features)))
+}
+
+// PredictColumn classifies one column's values end to end.
+func (m *Model) PredictColumn(values []string) []float64 {
+	return m.Predict([][]float64{Extract(values)})[0]
+}
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	Epochs    int
+	LR        float64
+	PosWeight float64
+	Cells     int // values sampled per column
+	Batch     int
+	Seed      int64
+	Log       io.Writer
+}
+
+// DefaultTrainConfig returns sensible defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 100, LR: 2e-3, PosWeight: 6, Cells: 30, Batch: 64, Seed: 1}
+}
+
+// Train fits the model on labelled corpus tables. Returns the final mean
+// epoch loss.
+func Train(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
+	if cfg.Epochs <= 0 || len(tables) == 0 {
+		return 0, fmt.Errorf("sherlock: need tables and positive epochs")
+	}
+	type example struct {
+		features []float64
+		target   []float64
+	}
+	var examples []example
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			vals := c.Values
+			if len(vals) > cfg.Cells {
+				vals = vals[:cfg.Cells]
+			}
+			examples = append(examples, example{
+				features: Extract(vals),
+				target:   m.Types.Targets(c.Labels),
+			})
+		}
+	}
+	m.SetTrain()
+	defer m.SetEval()
+	opt := tensor.NewAdam(m.Params(), cfg.LR)
+	opt.ClipNorm = 1
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	last := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(examples), func(i, j int) { examples[i], examples[j] = examples[j], examples[i] })
+		total, batches := 0.0, 0
+		for start := 0; start < len(examples); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(examples) {
+				end = len(examples)
+			}
+			feats := make([][]float64, 0, end-start)
+			targets := make([][]float64, 0, end-start)
+			for _, ex := range examples[start:end] {
+				feats = append(feats, ex.features)
+				targets = append(targets, ex.target)
+			}
+			opt.ZeroGrads()
+			loss := tensor.WeightedBCEWithLogits(m.forward(tensor.FromRows(feats)), tensor.FromRows(targets), cfg.PosWeight)
+			loss.Backward()
+			opt.Step()
+			total += loss.Item()
+			batches++
+		}
+		last = total / float64(batches)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "sherlock epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, last)
+		}
+	}
+	return last, nil
+}

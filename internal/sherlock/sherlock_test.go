@@ -1,0 +1,172 @@
+package sherlock
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adtd"
+	"repro/internal/corpus"
+	"repro/internal/metrics"
+)
+
+func TestExtractDim(t *testing.T) {
+	f := Extract([]string{"hello", "world"})
+	if len(f) != FeatureDim {
+		t.Fatalf("dim = %d, want %d", len(f), FeatureDim)
+	}
+}
+
+func TestExtractEmptyColumn(t *testing.T) {
+	f := Extract([]string{"", "", ""})
+	for i, v := range f {
+		if v != 0 {
+			t.Fatalf("feature %d = %v for empty column", i, v)
+		}
+	}
+}
+
+func TestExtractCharHistograms(t *testing.T) {
+	f := Extract([]string{"aaa"})
+	if f[0] != 1 { // all chars are 'a'
+		t.Fatalf("letter-a frequency = %v", f[0])
+	}
+	f = Extract([]string{"111"})
+	if f[26+1] != 1 { // digit '1'
+		t.Fatalf("digit-1 frequency = %v", f[27])
+	}
+}
+
+func TestExtractDistinctAndConstantLength(t *testing.T) {
+	f := Extract([]string{"abc", "abc", "abc"})
+	if f[49] != 1.0/3 { // distinct ratio
+		t.Fatalf("distinct ratio = %v", f[49])
+	}
+	if f[52] != 1 { // constant-length flag
+		t.Fatalf("constant-length flag = %v", f[52])
+	}
+	f = Extract([]string{"a", "ab", "abc"})
+	if f[52] != 0 {
+		t.Fatal("varying lengths must clear the flag")
+	}
+}
+
+func TestExtractNumericBlock(t *testing.T) {
+	f := Extract([]string{"1", "2", "-3"})
+	if f[54] != 1 {
+		t.Fatalf("numeric ratio = %v", f[54])
+	}
+	if f[59] != 1 { // all integers
+		t.Fatalf("integer ratio = %v", f[59])
+	}
+	if math.Abs(f[60]-1.0/3) > 1e-9 { // negative ratio
+		t.Fatalf("negative ratio = %v", f[60])
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	if e := entropy([]string{"a", "a", "a"}); e != 0 {
+		t.Fatalf("constant entropy = %v", e)
+	}
+	if e := entropy([]string{"a", "b", "c", "d"}); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("uniform entropy = %v", e)
+	}
+}
+
+// Property: features stay finite and roughly bounded for arbitrary input.
+func TestExtractBoundedProperty(t *testing.T) {
+	f := func(values []string) bool {
+		for _, v := range Extract(values) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < -1.5 || v > 40 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainLearnsPatternTypes(t *testing.T) {
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(80), 1)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+	m := New(types, 64, 1)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 100
+	if _, err := Train(m, ds.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	acc := metrics.NewF1Accumulator()
+	for _, tb := range ds.Test {
+		for _, c := range tb.Columns {
+			probs := m.PredictColumn(c.Values)
+			var admitted []string
+			for j, p := range probs {
+				if j == 0 {
+					continue
+				}
+				if p >= 0.5 {
+					admitted = append(admitted, types.Name(j))
+				}
+			}
+			acc.Add(admitted, c.Labels)
+		}
+	}
+	// Content statistics separate many generated types well; this detector
+	// must clearly beat chance but is not expected to reach the DL level.
+	if f1 := acc.F1(); f1 < 0.4 {
+		t.Fatalf("sherlock F1 = %.3f, want ≥ 0.4", f1)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	types := adtd.NewTypeSpace([]string{"x"})
+	m := New(types, 8, 1)
+	if _, err := Train(m, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected error on empty corpus")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	types := adtd.NewTypeSpace([]string{"a", "b"})
+	m := New(types, 16, 1)
+	m.SetEval()
+	values := []string{"10.0.0.1", "10.0.0.2"}
+	before := m.PredictColumn(values)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(types, 16, 99)
+	m2.SetEval()
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	after := m2.PredictColumn(values)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("prediction drift after load")
+		}
+	}
+}
+
+func TestSortedKeysHelper(t *testing.T) {
+	got := sortedKeys(map[string]int{"b": 1, "a": 2})
+	if len(got) != 2 || got[0] != "a" {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}
+
+func TestMomentsHelper(t *testing.T) {
+	mean, std, minv, maxv := moments([]float64{2, 4, 6})
+	if mean != 4 || minv != 2 || maxv != 6 {
+		t.Fatalf("moments = %v %v %v %v", mean, std, minv, maxv)
+	}
+	if math.Abs(std-math.Sqrt(8.0/3)) > 1e-12 {
+		t.Fatalf("std = %v", std)
+	}
+	_ = rand.Int // keep math/rand linked for future fuzz extensions
+}

@@ -1,0 +1,426 @@
+// Package simdb simulates the remote user database of the paper's cloud
+// deployment (an RDS-for-MySQL instance reachable over a VPC). It provides:
+//
+//   - an embedded relational store loaded from generated corpus tables,
+//   - an information_schema-style metadata API (table/column names,
+//     comments, data types, row counts) that is cheap to query,
+//   - ANALYZE TABLE statistics and histograms (equal-height/equal-width),
+//   - column-content scans with both "first m rows" and "random sampling of
+//     m rows" strategies (§6.1.2),
+//   - a configurable latency model injecting real delays for connection
+//     setup, query round trips, and per-row transfer, and
+//   - an accounting ledger tracking connections, queries, scanned columns,
+//     rows and bytes — the raw material for the "ratio of scanned columns"
+//     intrusiveness metric (§6.2).
+//
+// All methods are safe for concurrent use; the pipelined executor issues
+// scans from multiple data-preparation workers at once.
+package simdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// LatencyProfile models the time cost of talking to a remote database. All
+// costs are injected as real sleeps so that pipelined execution genuinely
+// overlaps I/O waits with inference compute.
+type LatencyProfile struct {
+	// ConnectionSetup is paid once per Connect.
+	ConnectionSetup time.Duration
+	// ConnectionClose is paid once per Close.
+	ConnectionClose time.Duration
+	// QueryRoundTrip is paid once per metadata query, scan, or ANALYZE.
+	QueryRoundTrip time.Duration
+	// PerCell is paid per cell (row × column) transferred by a content
+	// scan, so scanning fewer columns genuinely costs less.
+	PerCell time.Duration
+	// SamplingPenalty multiplies PerCell for random-sampling scans, which
+	// are slower than sequential first-m scans in MySQL (§6.3).
+	SamplingPenalty float64
+}
+
+// PaperLatency returns the latency profile of the paper's testbed (5 ms
+// network delay between ECS and RDS) scaled by the given factor. scale=1 is
+// paper-realistic; the experiments default to a small scale so that full
+// sweeps finish quickly while preserving every relative relationship.
+func PaperLatency(scale float64) LatencyProfile {
+	ms := func(d float64) time.Duration { return time.Duration(d * scale * float64(time.Millisecond)) }
+	return LatencyProfile{
+		ConnectionSetup: ms(10),
+		ConnectionClose: ms(2),
+		QueryRoundTrip:  ms(5),
+		PerCell:         ms(0.02),
+		SamplingPenalty: 1.3,
+	}
+}
+
+// NoLatency disables all injected delays; used by unit tests.
+var NoLatency = LatencyProfile{SamplingPenalty: 1}
+
+func (l LatencyProfile) sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Accounting tracks the load a detection service places on a database.
+type Accounting struct {
+	mu             sync.Mutex
+	Connections    int
+	Queries        int
+	ColumnsScanned int
+	RowsScanned    int
+	CellsRead      int
+	BytesRead      int
+	scannedCols    map[string]bool
+}
+
+// Snapshot returns a copy of the current counters.
+func (a *Accounting) Snapshot() AccountingSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AccountingSnapshot{
+		Connections:         a.Connections,
+		Queries:             a.Queries,
+		ColumnsScanned:      a.ColumnsScanned,
+		DistinctColsScanned: len(a.scannedCols),
+		RowsScanned:         a.RowsScanned,
+		CellsRead:           a.CellsRead,
+		BytesRead:           a.BytesRead,
+	}
+}
+
+// AccountingSnapshot is an immutable view of the counters.
+type AccountingSnapshot struct {
+	Connections         int
+	Queries             int
+	ColumnsScanned      int
+	DistinctColsScanned int
+	RowsScanned         int
+	CellsRead           int
+	BytesRead           int
+}
+
+// Reset zeroes all counters.
+func (a *Accounting) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Connections, a.Queries, a.ColumnsScanned = 0, 0, 0
+	a.RowsScanned, a.CellsRead, a.BytesRead = 0, 0, 0
+	a.scannedCols = nil
+}
+
+func (a *Accounting) addConn() {
+	a.mu.Lock()
+	a.Connections++
+	a.mu.Unlock()
+}
+
+func (a *Accounting) addQuery() {
+	a.mu.Lock()
+	a.Queries++
+	a.mu.Unlock()
+}
+
+func (a *Accounting) addScan(db, table string, cols []string, rows, cells, bytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.Queries++
+	a.ColumnsScanned += len(cols)
+	a.RowsScanned += rows
+	a.CellsRead += cells
+	a.BytesRead += bytes
+	if a.scannedCols == nil {
+		a.scannedCols = make(map[string]bool)
+	}
+	for _, c := range cols {
+		a.scannedCols[db+"."+table+"."+c] = true
+	}
+}
+
+// Server hosts simulated databases.
+type Server struct {
+	mu        sync.RWMutex
+	databases map[string]*database
+	latency   LatencyProfile
+	acct      Accounting
+
+	faultMu sync.Mutex
+	faults  map[string]error // table name → error returned by the next scan
+}
+
+type database struct {
+	name   string
+	order  []string
+	tables map[string]*storedTable
+}
+
+type storedTable struct {
+	name    string
+	comment string
+	columns []*storedColumn
+	rows    int
+}
+
+type storedColumn struct {
+	name    string
+	comment string
+	sqlType string
+	values  []string
+	statsMu sync.Mutex
+	stats   *ColumnStats // populated by ANALYZE TABLE
+}
+
+// NewServer creates an empty server with the given latency profile.
+func NewServer(latency LatencyProfile) *Server {
+	return &Server{databases: make(map[string]*database), latency: latency}
+}
+
+// Accounting returns the server's accounting ledger.
+func (s *Server) Accounting() *Accounting { return &s.acct }
+
+// Latency returns the configured latency profile.
+func (s *Server) Latency() LatencyProfile { return s.latency }
+
+// InjectScanFault arms a one-shot failure: the next ScanColumns against the
+// named table returns err. Used to exercise the detection service's
+// partial-failure handling (a flaky table must not abort a batch).
+func (s *Server) InjectScanFault(table string, err error) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.faults == nil {
+		s.faults = make(map[string]error)
+	}
+	s.faults[table] = err
+}
+
+// takeFault consumes an armed fault for the table, if any.
+func (s *Server) takeFault(table string) error {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	err, ok := s.faults[table]
+	if !ok {
+		return nil
+	}
+	delete(s.faults, table)
+	return err
+}
+
+// LoadTables creates (or extends) a database with the given corpus tables.
+// Ground-truth labels are deliberately not stored: the database knows only
+// what a real user database would (schema, comments, content).
+func (s *Server) LoadTables(dbName string, tables []*corpus.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db := s.databases[dbName]
+	if db == nil {
+		db = &database{name: dbName, tables: make(map[string]*storedTable)}
+		s.databases[dbName] = db
+	}
+	for _, t := range tables {
+		st := &storedTable{name: t.Name, comment: t.Comment, rows: t.Rows()}
+		for _, c := range t.Columns {
+			st.columns = append(st.columns, &storedColumn{
+				name:    c.Name,
+				comment: c.Comment,
+				sqlType: c.SQLType,
+				values:  c.Values,
+			})
+		}
+		if _, dup := db.tables[t.Name]; dup {
+			panic(fmt.Sprintf("simdb: duplicate table %s.%s", dbName, t.Name))
+		}
+		db.tables[t.Name] = st
+		db.order = append(db.order, t.Name)
+	}
+}
+
+// Connect opens a connection to the named database, paying the setup cost.
+func (s *Server) Connect(dbName string) (*Conn, error) {
+	s.latency.sleep(s.latency.ConnectionSetup)
+	s.mu.RLock()
+	db := s.databases[dbName]
+	s.mu.RUnlock()
+	if db == nil {
+		return nil, fmt.Errorf("simdb: unknown database %q", dbName)
+	}
+	s.acct.addConn()
+	return &Conn{server: s, db: db}, nil
+}
+
+// Conn is a client connection. A Conn may be shared by multiple goroutines,
+// mirroring a pooled connection; closing it twice is an error.
+type Conn struct {
+	server *Server
+	db     *database
+	mu     sync.Mutex
+	closed bool
+}
+
+// Close releases the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("simdb: connection already closed")
+	}
+	c.closed = true
+	c.server.latency.sleep(c.server.latency.ConnectionClose)
+	return nil
+}
+
+func (c *Conn) check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("simdb: connection is closed")
+	}
+	return nil
+}
+
+// ListTables returns the table names in load order (one metadata query).
+func (c *Conn) ListTables() ([]string, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	c.server.latency.sleep(c.server.latency.QueryRoundTrip)
+	c.server.acct.addQuery()
+	return append([]string(nil), c.db.order...), nil
+}
+
+// ColumnMeta is the information_schema view of one column.
+type ColumnMeta struct {
+	Name     string
+	Comment  string
+	DataType string
+	// Stats is non-nil only after ANALYZE TABLE has run.
+	Stats *ColumnStats
+}
+
+// TableMeta is the information_schema view of one table.
+type TableMeta struct {
+	Name     string
+	Comment  string
+	RowCount int
+	Columns  []ColumnMeta
+}
+
+// TableMetadata fetches schema metadata for a table — the SELECT * FROM
+// information_schema.columns of §3.2. It costs one query round trip and
+// never touches column content.
+func (c *Conn) TableMetadata(table string) (*TableMeta, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	c.server.latency.sleep(c.server.latency.QueryRoundTrip)
+	c.server.acct.addQuery()
+	st, ok := c.db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("simdb: unknown table %s.%s", c.db.name, table)
+	}
+	tm := &TableMeta{Name: st.name, Comment: st.comment, RowCount: st.rows}
+	for _, col := range st.columns {
+		cm := ColumnMeta{Name: col.name, Comment: col.comment, DataType: col.sqlType}
+		col.statsMu.Lock()
+		cm.Stats = col.stats
+		col.statsMu.Unlock()
+		tm.Columns = append(tm.Columns, cm)
+	}
+	return tm, nil
+}
+
+// ScanStrategy selects how content scans pick rows (§6.1.2).
+type ScanStrategy int
+
+const (
+	// FirstRows reads the first m rows of the table.
+	FirstRows ScanStrategy = iota
+	// RandomSample reads a uniform random sample of m rows (MySQL
+	// ORDER BY RAND(seed) LIMIT m), which is slower than FirstRows.
+	RandomSample
+)
+
+// ScanOptions configures a content scan.
+type ScanOptions struct {
+	Strategy ScanStrategy
+	// Rows is the number of rows to retrieve (m in the paper; ≤0 means all).
+	Rows int
+	// Seed seeds the RandomSample strategy.
+	Seed int64
+}
+
+// ScanColumns retrieves content for the named columns of a table. The
+// result maps column name → cell values in row order. The call pays one
+// query round trip plus a per-row transfer cost, and is recorded in the
+// accounting ledger as an intrusive operation.
+func (c *Conn) ScanColumns(table string, cols []string, opts ScanOptions) (map[string][]string, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	if err := c.server.takeFault(table); err != nil {
+		return nil, err
+	}
+	st, ok := c.db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("simdb: unknown table %s.%s", c.db.name, table)
+	}
+	byName := make(map[string]*storedColumn, len(st.columns))
+	for _, col := range st.columns {
+		byName[col.name] = col
+	}
+	selected := make([]*storedColumn, len(cols))
+	for i, name := range cols {
+		col, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("simdb: unknown column %s.%s.%s", c.db.name, table, name)
+		}
+		selected[i] = col
+	}
+
+	m := opts.Rows
+	if m <= 0 || m > st.rows {
+		m = st.rows
+	}
+	rowIdx := make([]int, m)
+	switch opts.Strategy {
+	case FirstRows:
+		for i := range rowIdx {
+			rowIdx[i] = i
+		}
+	case RandomSample:
+		perm := rand.New(rand.NewSource(opts.Seed)).Perm(st.rows)
+		copy(rowIdx, perm[:m])
+		sort.Ints(rowIdx)
+	default:
+		return nil, fmt.Errorf("simdb: unknown scan strategy %d", opts.Strategy)
+	}
+
+	out := make(map[string][]string, len(cols))
+	cells, bytes := 0, 0
+	for i, col := range selected {
+		vals := make([]string, m)
+		for j, r := range rowIdx {
+			vals[j] = col.values[r]
+			cells++
+			bytes += len(col.values[r])
+		}
+		out[cols[i]] = vals
+	}
+
+	// Latency: one round trip plus per-cell transfer (sampling pays the
+	// MySQL RAND() penalty).
+	lat := c.server.latency
+	perCell := lat.PerCell
+	if opts.Strategy == RandomSample && lat.SamplingPenalty > 0 {
+		perCell = time.Duration(float64(perCell) * lat.SamplingPenalty)
+	}
+	lat.sleep(lat.QueryRoundTrip + time.Duration(cells)*perCell)
+	c.server.acct.addScan(c.db.name, table, cols, m, cells, bytes)
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTensor(rng *rand.Rand, rows, cols int) *Tensor {
+	t := New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchTensor(rng, 64, 64)
+	y := benchTensor(rng, 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchTensor(rng, 256, 64)
+	y := benchTensor(rng, 64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulNTScores(b *testing.B) {
+	// Attention-score shape: (L×H) × (L×H)ᵀ.
+	rng := rand.New(rand.NewSource(1))
+	q := benchTensor(rng, 128, 64)
+	k := benchTensor(rng, 128, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulNT(q, k)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchTensor(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x, nil)
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchTensor(rng, 128, 64)
+	gamma := New(1, 64)
+	gamma.Fill(1)
+	beta := New(1, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LayerNorm(x, gamma, beta, 1e-5)
+	}
+}
+
+func BenchmarkBackwardSmallGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := Param(64, 64)
+	XavierUniform(w, rng)
+	x := benchTensor(rng, 32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ZeroGrad()
+		loss := Sum(GELU(MatMul(x, w)))
+		loss.Backward()
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	params := []*Tensor{Param(256, 64), Param(1, 64)}
+	for _, p := range params {
+		XavierUniform(p, rng)
+		p.ensureGrad()
+		for i := range p.Grad {
+			p.Grad[i] = rng.NormFloat64() * 0.01
+		}
+	}
+	opt := NewAdam(params, 1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step()
+	}
+}

@@ -1,0 +1,29 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// XavierUniform fills t with values drawn uniformly from
+// [−√(6/(fanIn+fanOut)), +√(6/(fanIn+fanOut))], the Glorot initialization
+// used for the linear projections in the Transformer blocks.
+func XavierUniform(t *Tensor, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// NormalInit fills t with N(0, std²) values; used for embedding tables
+// (BERT-style std = 0.02).
+func NormalInit(t *Tensor, std float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// ConstantInit fills t with the given value (e.g. 1 for layer-norm gamma).
+func ConstantInit(t *Tensor, v float64) {
+	t.Fill(v)
+}

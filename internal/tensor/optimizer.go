@@ -1,0 +1,150 @@
+package tensor
+
+import "math"
+
+// Optimizer updates a fixed set of parameter tensors from their accumulated
+// gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// parameters, then the caller typically invokes ZeroGrads.
+	Step()
+	// ZeroGrads clears the gradients of all managed parameters.
+	ZeroGrads()
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with optional decoupled
+// weight decay (AdamW) and global-norm gradient clipping, the configuration
+// used to fine-tune all models in this reproduction.
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	// ClipNorm, when positive, rescales gradients so their global L2 norm
+	// does not exceed it.
+	ClipNorm float64
+
+	params []*Tensor
+	m, v   [][]float64
+	t      int
+}
+
+// NewAdam creates an Adam optimizer over params with standard defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Data))
+		a.v[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// Params returns the managed parameter tensors.
+func (a *Adam) Params() []*Tensor { return a.params }
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.t++
+	if a.ClipNorm > 0 {
+		a.clip()
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			upd := a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			if a.WeightDecay > 0 {
+				upd += a.LR * a.WeightDecay * p.Data[j]
+			}
+			p.Data[j] -= upd
+		}
+	}
+}
+
+func (a *Adam) clip() {
+	total := 0.0
+	for _, p := range a.params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= a.ClipNorm || norm == 0 {
+		return
+	}
+	scale := a.ClipNorm / norm
+	for _, p := range a.params {
+		for j := range p.Grad {
+			p.Grad[j] *= scale
+		}
+	}
+}
+
+// ZeroGrads clears all parameter gradients.
+func (a *Adam) ZeroGrads() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer with optional
+// momentum; kept as a baseline and for the lightweight online feedback
+// updates in the Taste detector.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	params []*Tensor
+	vel    [][]float64
+}
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum > 0 {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p.Data))
+		}
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if p.Grad == nil {
+			continue
+		}
+		if s.Momentum > 0 {
+			v := s.vel[i]
+			for j, g := range p.Grad {
+				v[j] = s.Momentum*v[j] + g
+				p.Data[j] -= s.LR * v[j]
+			}
+		} else {
+			for j, g := range p.Grad {
+				p.Data[j] -= s.LR * g
+			}
+		}
+	}
+}
+
+// ZeroGrads clears all parameter gradients.
+func (s *SGD) ZeroGrads() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}

@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary parameter serialization. The format is deliberately simple:
+//
+//	magic "TSR1" | uint32 count | repeat{ uint32 rows | uint32 cols | float64... }
+//
+// Tensors are written and read back in order; shapes must match on load,
+// which catches configuration drift between a trained checkpoint and the
+// model being restored.
+
+const serializeMagic = "TSR1"
+
+// WriteTensors serializes the given tensors to w.
+func WriteTensors(w io.Writer, ts []*Tensor) error {
+	if _, err := io.WriteString(w, serializeMagic); err != nil {
+		return fmt.Errorf("tensor: write magic: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ts))); err != nil {
+		return fmt.Errorf("tensor: write count: %w", err)
+	}
+	buf := make([]byte, 8)
+	for i, t := range ts {
+		if err := binary.Write(w, binary.LittleEndian, uint32(t.Rows)); err != nil {
+			return fmt.Errorf("tensor: write rows of #%d: %w", i, err)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(t.Cols)); err != nil {
+			return fmt.Errorf("tensor: write cols of #%d: %w", i, err)
+		}
+		for _, v := range t.Data {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("tensor: write data of #%d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadTensors deserializes values from r into the given tensors, which must
+// match in count and shape.
+func ReadTensors(r io.Reader, ts []*Tensor) error {
+	magic := make([]byte, len(serializeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("tensor: read magic: %w", err)
+	}
+	if string(magic) != serializeMagic {
+		return fmt.Errorf("tensor: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("tensor: read count: %w", err)
+	}
+	if int(count) != len(ts) {
+		return fmt.Errorf("tensor: checkpoint has %d tensors, model has %d", count, len(ts))
+	}
+	buf := make([]byte, 8)
+	for i, t := range ts {
+		var rows, cols uint32
+		if err := binary.Read(r, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("tensor: read rows of #%d: %w", i, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("tensor: read cols of #%d: %w", i, err)
+		}
+		if int(rows) != t.Rows || int(cols) != t.Cols {
+			return fmt.Errorf("tensor: shape mismatch for #%d: checkpoint %dx%d, model %dx%d", i, rows, cols, t.Rows, t.Cols)
+		}
+		for j := range t.Data {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return fmt.Errorf("tensor: read data of #%d: %w", i, err)
+			}
+			t.Data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	orig := []*Tensor{randParam(rng, 3, 4), randParam(rng, 1, 7), randParam(rng, 5, 5)}
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, orig); err != nil {
+		t.Fatalf("WriteTensors: %v", err)
+	}
+	restored := []*Tensor{New(3, 4), New(1, 7), New(5, 5)}
+	if err := ReadTensors(&buf, restored); err != nil {
+		t.Fatalf("ReadTensors: %v", err)
+	}
+	for i := range orig {
+		for j := range orig[i].Data {
+			if orig[i].Data[j] != restored[i].Data[j] {
+				t.Fatalf("tensor %d elem %d: %v != %v", i, j, orig[i].Data[j], restored[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestReadTensorsShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, []*Tensor{New(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadTensors(&buf, []*Tensor{New(2, 3)})
+	if err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("want shape mismatch error, got %v", err)
+	}
+}
+
+func TestReadTensorsCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, []*Tensor{New(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadTensors(&buf, []*Tensor{New(2, 2), New(1, 1)})
+	if err == nil {
+		t.Fatal("want count mismatch error")
+	}
+}
+
+func TestReadTensorsBadMagic(t *testing.T) {
+	err := ReadTensors(strings.NewReader("XXXXgarbage"), []*Tensor{New(1, 1)})
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("want magic error, got %v", err)
+	}
+}
+
+func TestReadTensorsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, []*Tensor{New(4, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	err := ReadTensors(bytes.NewReader(trunc), []*Tensor{New(4, 4)})
+	if err == nil {
+		t.Fatal("want truncation error")
+	}
+}

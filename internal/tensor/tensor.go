@@ -1,0 +1,249 @@
+// Package tensor implements a small dense 2-D tensor library with reverse-mode
+// automatic differentiation, sufficient to train and run the Transformer-based
+// models used by the Taste reproduction. The design is a dynamic tape: each
+// operation allocates a result tensor that records its parents and a backward
+// closure; Backward performs a topological sweep that accumulates gradients.
+//
+// Tensors are row-major matrices of float64. Sequence data is represented as
+// one row per position (rows = sequence length, cols = hidden size), which is
+// the only layout the Taste models need. Heads in multi-head attention are
+// handled by column slicing in package nn.
+//
+// Concurrency: building a graph is not goroutine-safe, but distinct graphs can
+// be built and evaluated concurrently as long as shared leaf tensors (model
+// parameters) are only read. Inference paths use NoGrad tensors so that no
+// backward state is written to shared parameters.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major matrix that optionally participates in the
+// autograd graph.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+
+	// Grad holds the accumulated gradient of some scalar loss with respect
+	// to Data. It is allocated lazily by Backward and is nil for tensors
+	// that do not require gradients.
+	Grad []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backward     func()
+	name         string
+}
+
+// New returns a zero-initialized tensor with the given shape.
+// It panics if rows or cols are not positive.
+func New(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a tensor of the given shape. The slice
+// is used directly, not copied. It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %dx%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a tensor from a slice of equal-length rows, copying them.
+func FromRows(rows [][]float64) *Tensor {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("tensor: FromRows requires at least one non-empty row")
+	}
+	t := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != t.Cols {
+			panic(fmt.Sprintf("tensor: row %d has %d values, want %d", i, len(r), t.Cols))
+		}
+		copy(t.Data[i*t.Cols:(i+1)*t.Cols], r)
+	}
+	return t
+}
+
+// Param returns a zero tensor marked as requiring gradients; it is the
+// constructor for trainable parameters.
+func Param(rows, cols int) *Tensor {
+	t := New(rows, cols)
+	t.requiresGrad = true
+	return t
+}
+
+// WithName attaches a debug name and returns the receiver.
+func (t *Tensor) WithName(name string) *Tensor {
+	t.name = name
+	return t
+}
+
+// Name returns the debug name set by WithName, or "".
+func (t *Tensor) Name() string { return t.name }
+
+// RequiresGrad reports whether this tensor participates in gradient
+// accumulation.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// SetRequiresGrad toggles gradient tracking for a leaf tensor.
+func (t *Tensor) SetRequiresGrad(v bool) { t.requiresGrad = v }
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// Clone returns a deep copy that is detached from the autograd graph.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Detach returns a view of the same data that is cut off from the graph.
+// Mutating one mutates the other.
+func (t *Tensor) Detach() *Tensor {
+	return &Tensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Item returns the single element of a 1x1 tensor, panicking otherwise.
+func (t *Tensor) Item() float64 {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic(fmt.Sprintf("tensor: Item on %dx%d tensor", t.Rows, t.Cols))
+	}
+	return t.Data[0]
+}
+
+// Shape returns (rows, cols).
+func (t *Tensor) Shape() (int, int) { return t.Rows, t.Cols }
+
+// String renders a compact description for debugging.
+func (t *Tensor) String() string {
+	if t.name != "" {
+		return fmt.Sprintf("Tensor(%s %dx%d)", t.name, t.Rows, t.Cols)
+	}
+	return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols)
+}
+
+// ensureGrad allocates the gradient buffer if needed.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// ZeroGrad clears the gradient buffer if present.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// result builds an op output tensor: it requires grad when any parent does,
+// and records the backward closure only in that case. When no parent tracks
+// gradients the op degenerates to a plain forward computation, which keeps
+// inference cheap and safe for concurrent use of shared parameters.
+func result(rows, cols int, parents []*Tensor, backward func()) *Tensor {
+	out := New(rows, cols)
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad {
+		out.parents = parents
+		out.backward = backward
+	}
+	return out
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a scalar
+// (1x1). Gradients accumulate into every reachable tensor that requires them.
+func (t *Tensor) Backward() {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic("tensor: Backward requires a scalar (1x1) tensor")
+	}
+	if !t.requiresGrad {
+		panic("tensor: Backward on a tensor that does not require grad")
+	}
+	order := topoSort(t)
+	for _, n := range order {
+		n.ensureGrad()
+	}
+	t.Grad[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].backward != nil {
+			order[i].backward()
+		}
+	}
+}
+
+// topoSort returns the nodes reachable from root in topological order
+// (parents before children).
+func topoSort(root *Tensor) []*Tensor {
+	var order []*Tensor
+	visited := make(map[*Tensor]bool)
+	// Iterative DFS to avoid stack overflow on deep graphs.
+	type frame struct {
+		node *Tensor
+		idx  int
+	}
+	stack := []frame{{root, 0}}
+	inStack := map[*Tensor]bool{root: true}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(f.node.parents) {
+			p := f.node.parents[f.idx]
+			f.idx++
+			if !visited[p] && !inStack[p] && p.requiresGrad {
+				stack = append(stack, frame{p, 0})
+				inStack[p] = true
+			}
+			continue
+		}
+		visited[f.node] = true
+		inStack[f.node] = false
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// MaxAbs returns the largest absolute value in the tensor; useful in tests
+// and gradient-clipping.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the data.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

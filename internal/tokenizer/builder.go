@@ -1,0 +1,96 @@
+package tokenizer
+
+import "sort"
+
+// Builder accumulates term statistics from a corpus and produces a
+// vocabulary. It is a frequency-based approximation of WordPiece training:
+// whole words above a frequency threshold enter the vocabulary directly;
+// for coverage of rare words it also admits frequent prefixes and
+// continuation pieces, plus all single characters seen, so that any input
+// can be segmented without [UNK] explosions.
+type Builder struct {
+	wordFreq map[string]int
+}
+
+// NewBuilder creates an empty vocabulary builder.
+func NewBuilder() *Builder {
+	return &Builder{wordFreq: make(map[string]int)}
+}
+
+// Add tokenizes text with BasicTokens and counts its words.
+func (b *Builder) Add(text string) {
+	for _, w := range BasicTokens(text) {
+		b.wordFreq[w]++
+	}
+}
+
+// Build produces a tokenizer whose vocabulary holds at most maxTerms terms:
+// the most frequent whole words, plus sub-word pieces derived from every
+// counted word (prefixes of length ≤4 and their continuations), plus all
+// single characters. minFreq filters noise words.
+func (b *Builder) Build(maxTerms, minFreq int) *Tokenizer {
+	type wf struct {
+		w string
+		f int
+	}
+	words := make([]wf, 0, len(b.wordFreq))
+	chars := make(map[string]bool)
+	pieceFreq := make(map[string]int)
+	for w, f := range b.wordFreq {
+		runes := []rune(w)
+		for _, r := range runes {
+			chars[string(r)] = true
+		}
+		if f >= minFreq {
+			words = append(words, wf{w, f})
+		}
+		// Sub-word pieces: short prefixes and their continuation parts give
+		// the greedy segmenter useful fallbacks for unseen words.
+		if len(runes) > 4 {
+			pieceFreq[string(runes[:4])] += f
+			pieceFreq["##"+string(runes[4:])] += f
+		}
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if words[i].f != words[j].f {
+			return words[i].f > words[j].f
+		}
+		return words[i].w < words[j].w
+	})
+
+	var terms []string
+	// Single characters and their continuations come first: with them, any
+	// word can always be segmented (worst case char by char).
+	charList := make([]string, 0, len(chars)*2)
+	for c := range chars {
+		charList = append(charList, c, "##"+c)
+	}
+	sort.Strings(charList)
+	terms = append(terms, charList...)
+
+	for _, x := range words {
+		if len(terms) >= maxTerms {
+			break
+		}
+		terms = append(terms, x.w)
+	}
+	pieces := make([]wf, 0, len(pieceFreq))
+	for p, f := range pieceFreq {
+		if f >= minFreq {
+			pieces = append(pieces, wf{p, f})
+		}
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].f != pieces[j].f {
+			return pieces[i].f > pieces[j].f
+		}
+		return pieces[i].w < pieces[j].w
+	})
+	for _, x := range pieces {
+		if len(terms) >= maxTerms+len(pieceFreq) { // pieces ride above the word cap
+			break
+		}
+		terms = append(terms, x.w)
+	}
+	return New(terms)
+}

@@ -1,0 +1,24 @@
+package tokenizer_test
+
+import (
+	"fmt"
+
+	"repro/internal/tokenizer"
+)
+
+func ExampleBuilder() {
+	b := tokenizer.NewBuilder()
+	for i := 0; i < 3; i++ {
+		b.Add("customer phone number")
+	}
+	tok := b.Build(100, 2)
+	fmt.Println(tok.Tokenize("Customer_Phone"))
+	// Output: [customer [UNK] phone]
+}
+
+func ExampleTokenizer_Encode() {
+	tok := tokenizer.New([]string{"credit", "card"})
+	ids := tok.Encode("credit card")
+	fmt.Println(tok.Token(ids[0]), tok.Token(ids[1]))
+	// Output: credit card
+}

@@ -1,0 +1,162 @@
+// Package tokenizer implements a WordPiece-style subword tokenizer with the
+// special tokens used by the ADTD model and its baselines. The vocabulary is
+// learned from a corpus (see Builder) rather than shipped, because the
+// reproduction generates its own synthetic table corpora.
+//
+// Tokenization follows BERT conventions: text is lower-cased, split on
+// whitespace and punctuation (punctuation becomes its own token), and each
+// word is greedily segmented into the longest vocabulary prefixes, with
+// continuation pieces prefixed by "##". Unknown segments map to [UNK].
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Special token identifiers. These occupy the first vocabulary slots in the
+// order declared here.
+const (
+	PAD  = "[PAD]"  // padding
+	UNK  = "[UNK]"  // unknown piece
+	CLS  = "[CLS]"  // sequence/cell start marker (§4.1)
+	SEP  = "[SEP]"  // field separator
+	MASK = "[MASK]" // masked-language-model target
+	COL  = "[COL]"  // column-metadata anchor position
+	VAL  = "[VAL]"  // column-content anchor position
+	TAB  = "[TAB]"  // table-level metadata anchor position
+)
+
+// SpecialTokens lists all special tokens in vocabulary order.
+var SpecialTokens = []string{PAD, UNK, CLS, SEP, MASK, COL, VAL, TAB}
+
+// Tokenizer maps text to vocabulary ids and back.
+type Tokenizer struct {
+	vocab map[string]int
+	terms []string
+}
+
+// New creates a tokenizer over the given vocabulary terms. The special
+// tokens are always present and occupy ids 0..len(SpecialTokens)-1; terms
+// must not repeat them.
+func New(terms []string) *Tokenizer {
+	t := &Tokenizer{vocab: make(map[string]int, len(terms)+len(SpecialTokens))}
+	for _, s := range SpecialTokens {
+		t.vocab[s] = len(t.terms)
+		t.terms = append(t.terms, s)
+	}
+	for _, term := range terms {
+		if _, ok := t.vocab[term]; ok {
+			continue
+		}
+		t.vocab[term] = len(t.terms)
+		t.terms = append(t.terms, term)
+	}
+	return t
+}
+
+// VocabSize returns the number of distinct token ids.
+func (t *Tokenizer) VocabSize() int { return len(t.terms) }
+
+// ID returns the id for a token, or the [UNK] id if absent.
+func (t *Tokenizer) ID(token string) int {
+	if id, ok := t.vocab[token]; ok {
+		return id
+	}
+	return t.vocab[UNK]
+}
+
+// MustID returns the id for a token that is known to exist, panicking
+// otherwise; intended for special tokens.
+func (t *Tokenizer) MustID(token string) int {
+	id, ok := t.vocab[token]
+	if !ok {
+		panic("tokenizer: unknown token " + token)
+	}
+	return id
+}
+
+// Token returns the string for an id, or [UNK] when out of range.
+func (t *Tokenizer) Token(id int) string {
+	if id < 0 || id >= len(t.terms) {
+		return UNK
+	}
+	return t.terms[id]
+}
+
+// Encode tokenizes text and returns vocabulary ids.
+func (t *Tokenizer) Encode(text string) []int {
+	pieces := t.Tokenize(text)
+	ids := make([]int, len(pieces))
+	for i, p := range pieces {
+		ids[i] = t.ID(p)
+	}
+	return ids
+}
+
+// Tokenize splits text into word pieces without converting to ids.
+func (t *Tokenizer) Tokenize(text string) []string {
+	var out []string
+	for _, w := range BasicTokens(text) {
+		out = append(out, t.wordpiece(w)...)
+	}
+	return out
+}
+
+// wordpiece greedily segments a single word into vocabulary pieces.
+func (t *Tokenizer) wordpiece(word string) []string {
+	if _, ok := t.vocab[word]; ok {
+		return []string{word}
+	}
+	var pieces []string
+	runes := []rune(word)
+	start := 0
+	for start < len(runes) {
+		end := len(runes)
+		var found string
+		for end > start {
+			cand := string(runes[start:end])
+			if start > 0 {
+				cand = "##" + cand
+			}
+			if _, ok := t.vocab[cand]; ok {
+				found = cand
+				break
+			}
+			end--
+		}
+		if found == "" {
+			return []string{UNK}
+		}
+		pieces = append(pieces, found)
+		start = end
+	}
+	return pieces
+}
+
+// BasicTokens lower-cases text and splits it into words and punctuation
+// marks. Digits group with letters (so "ipv4" stays one token) but
+// punctuation always separates.
+func BasicTokens(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			flush()
+			out = append(out, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,180 @@
+package tokenizer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func testTok() *Tokenizer {
+	return New([]string{"phone", "number", "credit", "card", "user", "name", "##s", "a", "b", "c", "##b", "##c"})
+}
+
+func TestSpecialTokensFirst(t *testing.T) {
+	tok := testTok()
+	for i, s := range SpecialTokens {
+		if tok.MustID(s) != i {
+			t.Fatalf("special token %s has id %d, want %d", s, tok.MustID(s), i)
+		}
+	}
+}
+
+func TestVocabSize(t *testing.T) {
+	tok := New([]string{"x", "y", "x"}) // duplicate ignored
+	if tok.VocabSize() != len(SpecialTokens)+2 {
+		t.Fatalf("VocabSize = %d", tok.VocabSize())
+	}
+}
+
+func TestIDUnknownFallsBackToUNK(t *testing.T) {
+	tok := testTok()
+	if tok.ID("nonexistent") != tok.MustID(UNK) {
+		t.Fatal("unknown token should map to [UNK]")
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	tok := testTok()
+	id := tok.ID("phone")
+	if tok.Token(id) != "phone" {
+		t.Fatalf("round trip failed: %s", tok.Token(id))
+	}
+	if tok.Token(-1) != UNK || tok.Token(99999) != UNK {
+		t.Fatal("out-of-range ids should return [UNK]")
+	}
+}
+
+func TestMustIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testTok().MustID("missing")
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := BasicTokens("Phone_Number, user-name")
+	want := []string{"phone", "_", "number", ",", "user", "-", "name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BasicTokens = %v, want %v", got, want)
+	}
+}
+
+func TestBasicTokensDigitsStayWithLetters(t *testing.T) {
+	got := BasicTokens("ipv4 addr2")
+	want := []string{"ipv4", "addr2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BasicTokens = %v", got)
+	}
+}
+
+func TestWordpieceGreedy(t *testing.T) {
+	tok := testTok()
+	got := tok.Tokenize("abc")
+	// Greedy: "a" then "##b" then "##c" (no "abc" or "ab" in vocab).
+	want := []string{"a", "##b", "##c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize(abc) = %v, want %v", got, want)
+	}
+}
+
+func TestWordpieceWholeWordWins(t *testing.T) {
+	tok := testTok()
+	got := tok.Tokenize("phone")
+	if !reflect.DeepEqual(got, []string{"phone"}) {
+		t.Fatalf("Tokenize(phone) = %v", got)
+	}
+}
+
+func TestWordpieceUnknown(t *testing.T) {
+	tok := testTok()
+	got := tok.Tokenize("zzz") // no 'z' pieces in vocab
+	if !reflect.DeepEqual(got, []string{UNK}) {
+		t.Fatalf("Tokenize(zzz) = %v, want [UNK]", got)
+	}
+}
+
+func TestEncode(t *testing.T) {
+	tok := testTok()
+	ids := tok.Encode("phone number")
+	if len(ids) != 2 || tok.Token(ids[0]) != "phone" || tok.Token(ids[1]) != "number" {
+		t.Fatalf("Encode = %v", ids)
+	}
+}
+
+func TestBuilderBuildsUsableVocab(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.Add("customer phone number")
+		b.Add("customer credit card")
+	}
+	tok := b.Build(100, 2)
+	pieces := tok.Tokenize("customer phone")
+	if len(pieces) != 2 || pieces[0] != "customer" || pieces[1] != "phone" {
+		t.Fatalf("builder vocab missing frequent words: %v", pieces)
+	}
+}
+
+func TestBuilderMinFreqFilters(t *testing.T) {
+	b := NewBuilder()
+	b.Add("rareword")
+	for i := 0; i < 10; i++ {
+		b.Add("common")
+	}
+	tok := b.Build(100, 5)
+	if got := tok.Tokenize("common"); got[0] != "common" {
+		t.Fatalf("frequent word missing: %v", got)
+	}
+	// rareword is not a whole-word entry, but chars guarantee segmentation
+	// into something other than a bare [UNK].
+	got := tok.Tokenize("rareword")
+	if len(got) == 1 && got[0] == UNK {
+		t.Fatalf("char fallback failed: %v", got)
+	}
+}
+
+func TestBuilderCharFallbackCoversAnySeenChars(t *testing.T) {
+	b := NewBuilder()
+	b.Add("abcdefghij klmnop")
+	tok := b.Build(5, 100) // tiny cap, nothing passes minFreq as a word
+	got := tok.Tokenize("jihgfedcba")
+	for _, p := range got {
+		if p == UNK {
+			t.Fatalf("char coverage should prevent UNK: %v", got)
+		}
+	}
+}
+
+// Property: encoding never yields ids outside [0, VocabSize) and never
+// panics, for arbitrary input strings.
+func TestEncodeBoundsProperty(t *testing.T) {
+	b := NewBuilder()
+	b.Add("the quick brown fox jumps over lazy dogs 0123456789")
+	tok := b.Build(50, 1)
+	f := func(s string) bool {
+		for _, id := range tok.Encode(s) {
+			if id < 0 || id >= tok.VocabSize() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Tokenize output joined back (stripping ## and [UNK]) is a
+// subsequence-preserving lowering of the input's letters.
+func TestTokenizeDeterministicProperty(t *testing.T) {
+	tok := testTok()
+	f := func(s string) bool {
+		a := tok.Tokenize(s)
+		b := tok.Tokenize(s)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

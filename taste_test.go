@@ -1,0 +1,75 @@
+package taste_test
+
+import (
+	"testing"
+
+	taste "repro"
+)
+
+func TestDatasetHelpers(t *testing.T) {
+	wiki := taste.WikiTableDataset(50, 1)
+	if len(wiki.Train) != 40 || len(wiki.Test) != 5 {
+		t.Fatalf("wiki splits %d/%d", len(wiki.Train), len(wiki.Test))
+	}
+	git := taste.GitTablesDataset(50, 1)
+	stats := git.Stats()[0]
+	if stats.PctNoType < 20 {
+		t.Fatalf("git null ratio %.1f%%, want ≈32%%", stats.PctNoType)
+	}
+}
+
+func TestNewModelAndDetectorWiring(t *testing.T) {
+	ds := taste.WikiTableDataset(30, 2)
+	m, err := taste.NewModel(ds, taste.ReproScale(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() == 0 {
+		t.Fatal("model has no parameters")
+	}
+	det, err := taste.NewDetector(m, taste.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := taste.NewServer(taste.NoLatency)
+	server.LoadTables("db", ds.Test)
+	rep, err := det.DetectDatabase(server, "db", taste.SequentialMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalColumns == 0 {
+		t.Fatal("no columns detected")
+	}
+	truth := taste.GroundTruth(ds.Test)
+	acc := taste.Score(rep, truth)
+	if f1 := acc.F1(); f1 < 0 || f1 > 1 {
+		t.Fatalf("F1 = %v", f1)
+	}
+}
+
+func TestGroundTruthKeys(t *testing.T) {
+	ds := taste.WikiTableDataset(10, 3)
+	truth := taste.GroundTruth(ds.Test)
+	want := 0
+	for _, tb := range ds.Test {
+		want += len(tb.Columns)
+	}
+	if len(truth) != want {
+		t.Fatalf("truth has %d keys, want %d", len(truth), want)
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	if err := taste.ReproScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := taste.PaperScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := taste.DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !taste.PipelinedMode().Pipelined {
+		t.Fatal("PipelinedMode must enable pipelining")
+	}
+}
