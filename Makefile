@@ -1,0 +1,34 @@
+# Build/test/bench entry points for the Taste reproduction.
+
+GO ?= go
+
+# Packages whose concurrency the race detector must vet: the tensor
+# runtime's worker pool + arena, the latent cache, the pipelined scheduler,
+# and the HTTP service.
+RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/service/...
+
+.PHONY: build test race race-all bench clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# race-all adds internal/core, whose fixture trains a model and needs a
+# far longer deadline under the race detector's ~10x slowdown.
+race-all:
+	$(GO) test -race -timeout 45m $(RACE_PKGS) ./internal/core/...
+
+# bench runs the compute-runtime benchmark set and writes BENCH_1.json
+# (ns/op and allocs/op for the matmul kernels, attention forward, batched
+# Phase-2 inference, and end-to-end detection).
+bench:
+	scripts/bench.sh BENCH_1.json
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_1.json

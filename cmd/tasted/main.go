@@ -25,18 +25,24 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/service"
 	"repro/internal/simdb"
+	"repro/internal/tensor"
 )
 
 func main() {
+	autoMode := core.AutoMode()
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		checkpoint = flag.String("checkpoint", "", "ADTD checkpoint from tastetrain (matching -tables/-seed)")
-		train      = flag.Bool("train", false, "train a fresh model at startup instead of loading a checkpoint")
-		tables     = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
-		seed       = flag.Int64("seed", 1, "corpus seed (must match the checkpoint)")
-		epochs     = flag.Int("epochs", 8, "training epochs when -train is set")
+		addr         = flag.String("addr", ":8080", "listen address")
+		checkpoint   = flag.String("checkpoint", "", "ADTD checkpoint from tastetrain (matching -tables/-seed)")
+		train        = flag.Bool("train", false, "train a fresh model at startup instead of loading a checkpoint")
+		tables       = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
+		seed         = flag.Int64("seed", 1, "corpus seed (must match the checkpoint)")
+		epochs       = flag.Int("epochs", 8, "training epochs when -train is set")
+		prepWorkers  = flag.Int("prep-workers", autoMode.PrepWorkers, "TP1 pool size for pipelined detect requests")
+		inferWorkers = flag.Int("infer-workers", autoMode.InferWorkers, "TP2 pool size for pipelined detect requests")
+		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*parallelism)
 
 	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(*tables), *seed)
 	tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 4000)
@@ -76,6 +82,7 @@ func main() {
 		log.Fatal(err)
 	}
 	svc := service.New(det)
+	svc.SetDefaultMode(core.ExecMode{Pipelined: true, PrepWorkers: *prepWorkers, InferWorkers: *inferWorkers})
 
 	demo := simdb.NewServer(simdb.PaperLatency(0.1))
 	demo.LoadTables("demo", ds.Test)

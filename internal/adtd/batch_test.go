@@ -1,0 +1,180 @@
+package adtd
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/metafeat"
+	"repro/internal/tensor"
+)
+
+// TestPredictContentBatchMatchesUnbatched verifies the batched Phase-2 path
+// against per-chunk PredictContent: the block-diagonal mask must isolate the
+// chunks so every probability row matches its unbatched counterpart.
+func TestPredictContentBatchMatchesUnbatched(t *testing.T) {
+	m, ds := tinyModel(t)
+	const cells = 3
+
+	var reqs []ContentRequest
+	var want [][][]float64
+	for ti := 0; ti < 3 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		cols := []int{0}
+		if len(info.Columns) > 1 {
+			cols = append(cols, len(info.Columns)-1)
+		}
+		menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+		want = append(want, m.PredictContent(menc, info, cols, cells))
+		reqs = append(reqs, ContentRequest{Menc: menc, Table: info, Cols: cols})
+	}
+
+	got := m.PredictContentBatch(reqs, cells)
+	if len(got) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(got), len(reqs))
+	}
+	for r := range reqs {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("request %d: %d rows, want %d", r, len(got[r]), len(want[r]))
+		}
+		for c := range want[r] {
+			for s := range want[r][c] {
+				if d := math.Abs(got[r][c][s] - want[r][c][s]); d > 1e-9 {
+					t.Fatalf("request %d col %d type %d: batched %v vs unbatched %v (Δ %g)",
+						r, c, s, got[r][c][s], want[r][c][s], d)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictContentBatchSingleRequest exercises the nil-mask fast path for
+// one single-column request.
+func TestPredictContentBatchSingleRequest(t *testing.T) {
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+	want := m.PredictContent(menc, info, []int{0}, 3)
+	got := m.PredictContentBatch([]ContentRequest{{Menc: menc, Table: info, Cols: []int{0}}}, 3)
+	if len(got) != 1 || len(got[0]) != 1 {
+		t.Fatalf("unexpected batch shape")
+	}
+	for s := range want[0] {
+		if math.Abs(got[0][0][s]-want[0][s]) > 1e-9 {
+			t.Fatalf("type %d: %v vs %v", s, got[0][0][s], want[0][s])
+		}
+	}
+}
+
+// TestPredictContentBatchSymmetric checks the ablation tower's batched mask.
+func TestPredictContentBatchSymmetric(t *testing.T) {
+	m, ds := tinyModel(t)
+	m.Cfg.SymmetricContent = true
+	defer func() { m.Cfg.SymmetricContent = false }()
+	var reqs []ContentRequest
+	var want [][][]float64
+	for ti := 0; ti < 2 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		cols := []int{0}
+		if len(info.Columns) > 1 {
+			cols = append(cols, 1)
+		}
+		menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+		want = append(want, m.PredictContent(menc, info, cols, 3))
+		reqs = append(reqs, ContentRequest{Menc: menc, Table: info, Cols: cols})
+	}
+	got := m.PredictContentBatch(reqs, 3)
+	for r := range want {
+		for c := range want[r] {
+			for s := range want[r][c] {
+				if math.Abs(got[r][c][s]-want[r][c][s]) > 1e-9 {
+					t.Fatalf("req %d col %d type %d: %v vs %v", r, c, s, got[r][c][s], want[r][c][s])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictContentBatchReleasesFreshEncodings documents the ownership
+// contract: fresh encodings passed into the batch are consumed.
+func TestPredictContentBatchReleasesFreshEncodings(t *testing.T) {
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+	cached := menc.CloneDetach()
+	m.PredictContentBatch([]ContentRequest{{Menc: menc, Table: info, Cols: []int{0}}}, 3)
+	if menc.Final().Data != nil {
+		t.Fatal("fresh encoding must be released by the batch call")
+	}
+	if cached.Final().Data == nil {
+		t.Fatal("deep copy must survive the batch call")
+	}
+	// The surviving copy must still be usable for another pass.
+	out := m.PredictContentBatch([]ContentRequest{{Menc: cached, Table: info, Cols: []int{0}}}, 3)
+	if len(out) != 1 || len(out[0]) != 1 {
+		t.Fatal("cached encoding unusable after release of the original")
+	}
+}
+
+// TestLatentCachePutDeepCopies verifies that cached entries survive release
+// of the producing graph (the arena would otherwise recycle their buffers).
+func TestLatentCachePutDeepCopies(t *testing.T) {
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+	wantFirst := menc.Final().At(0, 0)
+	cache := NewLatentCache(4)
+	cache.Put("k", menc)
+	menc.Release()
+	got := cache.Get("k")
+	if got == nil {
+		t.Fatal("cache miss after Put")
+	}
+	if got.Final().Data == nil {
+		t.Fatal("cached encoding buffer was released with the source graph")
+	}
+	if got.Final().At(0, 0) != wantFirst {
+		t.Fatal("cached encoding corrupted by release of the source graph")
+	}
+}
+
+// TestLatentCacheConcurrentHammer drives Put/Get/Delete from many
+// goroutines against a small cache; run under -race this validates the
+// cache's locking (and that Put's deep copy happens outside the lock).
+func TestLatentCacheConcurrentHammer(t *testing.T) {
+	cache := NewLatentCache(8)
+	mkEnc := func(seed float64) *MetaEncoding {
+		l := tensor.New(4, 8)
+		l.Fill(seed)
+		return &MetaEncoding{Layers: []*tensor.Tensor{l}, In: &MetaInput{}}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("t%d", (w*7+i)%16)
+				switch i % 3 {
+				case 0:
+					cache.Put(key, mkEnc(float64(w)))
+				case 1:
+					if enc := cache.Get(key); enc != nil {
+						_ = enc.Final().At(0, 0) // cached data must stay readable
+					}
+				default:
+					cache.Delete(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cache.Len() > 8 {
+		t.Fatalf("cache overflowed capacity: %d", cache.Len())
+	}
+	hits, misses := cache.Stats()
+	if hits+misses == 0 {
+		t.Fatal("hammer recorded no lookups")
+	}
+}

@@ -69,6 +69,24 @@ func BenchmarkP2InferenceRecomputedLatents(b *testing.B) {
 	}
 }
 
+// BenchmarkP2InferenceBatched measures the batched content tower over four
+// chunks at once, the path core's s4 stage uses; compare against four
+// BenchmarkP2InferenceCachedLatents iterations for the batching win.
+func BenchmarkP2InferenceBatched(b *testing.B) {
+	m, ds := benchSetup(b)
+	var reqs []ContentRequest
+	for ti := 0; ti < 4 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		menc, _ := m.PredictMeta(info, false)
+		reqs = append(reqs, ContentRequest{Menc: menc.CloneDetach(), Table: info, Cols: []int{0}})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictContentBatch(reqs, 10)
+	}
+}
+
 // BenchmarkExtensionNewTypes measures growing the classifier heads for a
 // freshly registered semantic type (§8).
 func BenchmarkExtensionNewTypes(b *testing.B) {

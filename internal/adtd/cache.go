@@ -33,19 +33,22 @@ func NewLatentCache(capacity int) *LatentCache {
 	}
 }
 
-// Put stores an encoding, detached from any autograd graph.
+// Put stores a deep copy of the encoding, detached from any autograd graph.
+// Copying (rather than aliasing) lets the producer hand its graph back to
+// the tensor arena with Release without corrupting cached entries.
 func (c *LatentCache) Put(key string, enc *MetaEncoding) {
 	if c.capacity <= 0 {
 		return
 	}
+	clone := enc.CloneDetach()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).enc = enc.Detach()
+		el.Value.(*cacheEntry).enc = clone
 		c.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, enc: enc.Detach()})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, enc: clone})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

@@ -143,13 +143,38 @@ type MetaEncoding struct {
 // Final returns the last layer's latents.
 func (e *MetaEncoding) Final() *tensor.Tensor { return e.Layers[len(e.Layers)-1] }
 
-// Detach returns a graph-free copy suitable for caching across requests.
+// Detach returns a graph-free view sharing the layers' buffers. The view
+// must not outlive a Release/ReleaseGraph of the producing graph; use
+// CloneDetach for a copy that does.
 func (e *MetaEncoding) Detach() *MetaEncoding {
 	out := &MetaEncoding{In: e.In}
 	for _, l := range e.Layers {
 		out.Layers = append(out.Layers, l.Detach())
 	}
 	return out
+}
+
+// CloneDetach returns a graph-free deep copy whose buffers are independent
+// of the producing graph, so it survives Release of the original encoding.
+// This is what the latent cache stores.
+func (e *MetaEncoding) CloneDetach() *MetaEncoding {
+	out := &MetaEncoding{In: e.In}
+	for _, l := range e.Layers {
+		out.Layers = append(out.Layers, l.Clone())
+	}
+	return out
+}
+
+// Release returns the encoding's graph buffers to the tensor arena once the
+// latents have been consumed (classified and/or deep-copied into the cache).
+// On a detached or cloned encoding whose layers are graph leaves this is a
+// no-op apart from clearing the layer slice.
+func (e *MetaEncoding) Release() {
+	if len(e.Layers) == 0 {
+		return
+	}
+	tensor.ReleaseGraph(e.Final())
+	e.Layers = nil
 }
 
 // EncodeMetadata runs the metadata tower (§4.2.2): L layers of

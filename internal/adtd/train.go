@@ -110,6 +110,7 @@ func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error
 			loss.Backward()
 			opt.Step()
 			total += loss.Item()
+			tensor.ReleaseGraph(loss)
 		}
 		lastEpochLoss = total / float64(len(chunks))
 		if cfg.Log != nil {
@@ -199,6 +200,7 @@ func (m *Model) ApplyFeedback(examples []FeedbackExample, lr float64, steps int)
 			}
 			loss.Backward()
 			opt.Step()
+			tensor.ReleaseGraph(loss)
 		}
 	}
 	return nil

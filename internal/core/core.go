@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -192,6 +193,17 @@ func PipelinedMode() ExecMode {
 	return ExecMode{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
 }
 
+// AutoMode sizes the pipelined pools from the machine instead of the
+// paper's fixed 2/2: half the logical CPUs per pool (floor 2), leaving the
+// other half to the tensor runtime's sharded kernels.
+func AutoMode() ExecMode {
+	w := runtime.GOMAXPROCS(0) / 2
+	if w < 2 {
+		w = 2
+	}
+	return ExecMode{Pipelined: true, PrepWorkers: w, InferWorkers: w}
+}
+
 // tableJob carries per-table state across the four stages.
 type tableJob struct {
 	d       *Detector
@@ -254,7 +266,8 @@ func (j *tableJob) s2InferMetadata() error {
 	// p1Probs indexed by global column position.
 	for ci, chunk := range j.chunks {
 		menc, probs := j.d.Model.PredictMeta(chunk, opts.UseHistogram)
-		j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci), menc)
+		j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci), menc) // deep-copies
+		menc.Release()
 		j.p1Probs = append(j.p1Probs, probs...)
 	}
 	for global, row := range j.p1Probs {
@@ -296,8 +309,10 @@ func (j *tableJob) s3PrepContent() error {
 	return nil
 }
 
-// s4InferContent runs Phase 2 over each chunk's uncertain columns, reusing
+// s4InferContent runs Phase 2 over the table's uncertain columns, reusing
 // cached metadata latents when available and recomputing them otherwise.
+// All chunks are classified in one batched forward (PredictContentBatch),
+// which amortizes kernel dispatch and classifier overhead across chunks.
 func (j *tableJob) s4InferContent() error {
 	if len(j.uncertain) == 0 {
 		return nil
@@ -307,6 +322,8 @@ func (j *tableJob) s4InferContent() error {
 	for _, g := range j.uncertain {
 		uncertainSet[g] = true
 	}
+	var reqs []adtd.ContentRequest
+	var globalsPerReq [][]int
 	for ci, chunk := range j.chunks {
 		var localCols []int
 		var globals []int
@@ -322,15 +339,24 @@ func (j *tableJob) s4InferContent() error {
 		menc := j.d.cache.Get(j.d.cacheKey(j.dbName, j.table, ci))
 		if menc == nil {
 			// Cache disabled or evicted: pay the duplicate metadata-tower
-			// computation the latent cache exists to avoid (§4.2.2).
+			// computation the latent cache exists to avoid (§4.2.2). The
+			// fresh encoding is released by the batch call below; cached
+			// encodings are deep copies and survive it.
 			menc = j.d.Model.EncodeMetadata(j.d.Model.Encoder().BuildMetaInput(chunk, opts.UseHistogram))
 		}
-		probs := j.d.Model.PredictContent(menc, chunk, localCols, opts.CellsPerColumn)
+		reqs = append(reqs, adtd.ContentRequest{Menc: menc, Table: chunk, Cols: localCols})
+		globalsPerReq = append(globalsPerReq, globals)
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	batch := j.d.Model.PredictContentBatch(reqs, opts.CellsPerColumn)
+	for r, globals := range globalsPerReq {
 		for slot, g := range globals {
 			cr := &j.res.Columns[g]
 			cr.Phase = 2
-			cr.Probs = probs[slot]
-			cr.Admitted = j.d.admitted(probs[slot], opts.AdmitThreshold)
+			cr.Probs = batch[r][slot]
+			cr.Admitted = j.d.admitted(batch[r][slot], opts.AdmitThreshold)
 		}
 	}
 	return nil

@@ -52,6 +52,10 @@ type Config struct {
 	Repeats int
 	// CheckpointDir caches trained models on disk ("" disables).
 	CheckpointDir string
+	// PrepWorkers/InferWorkers override the pipelined pool sizes for the
+	// timing experiments; 0 keeps the paper's default of 2 (§6.3).
+	PrepWorkers  int
+	InferWorkers int
 	// Log receives progress lines (nil silences).
 	Log io.Writer
 }

@@ -269,7 +269,7 @@ func (s *Suite) Fig6(ks []int) *Fig6Result {
 		}
 		server := simdb.NewServer(simdb.PaperLatency(s.Cfg.LatencyScale))
 		server.LoadTables("tenant", tuned.Test)
-		rep, err := det.DetectDatabase(server, "tenant", core.PipelinedMode())
+		rep, err := det.DetectDatabase(server, "tenant", s.pipelinedMode())
 		if err != nil {
 			panic(err)
 		}

@@ -149,7 +149,7 @@ func (s *Suite) RunTaste(dsName string, v TasteVariant) *RunResult {
 		server := s.newTestServer(ds)
 		mode := core.SequentialMode
 		if v.Pipelined {
-			mode = core.PipelinedMode()
+			mode = s.pipelinedMode()
 		}
 		rep, err := det.DetectDatabase(server, "tenant", mode)
 		if err != nil {
@@ -297,6 +297,19 @@ func newCoreDetector(m *adtd.Model, opts core.Options) (*core.Detector, error) {
 
 func pipelineMode(workers int) core.ExecMode {
 	return core.ExecMode{Pipelined: true, PrepWorkers: workers, InferWorkers: workers}
+}
+
+// pipelinedMode is the pipelined execution mode for timing runs: the
+// paper's 2/2 pools (§6.3) unless the config overrides either pool size.
+func (s *Suite) pipelinedMode() core.ExecMode {
+	mode := core.PipelinedMode()
+	if s.Cfg.PrepWorkers > 0 {
+		mode.PrepWorkers = s.Cfg.PrepWorkers
+	}
+	if s.Cfg.InferWorkers > 0 {
+		mode.InferWorkers = s.Cfg.InferWorkers
+	}
+	return mode
 }
 
 func sequentialMode() core.ExecMode { return core.SequentialMode }

@@ -113,14 +113,31 @@ func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
 	cond := sync.NewCond(&mu)
 	prepActive, inferActive := 0, 0
 
-	// pollEligible returns the first job whose next stage matches kind and
-	// is eligible (previous stages done, not already dispatched).
+	// pollEligible returns an eligible job whose next stage matches kind
+	// (previous stages done, not already dispatched). Each kind scans
+	// round-robin from just past its last dispatch, so early jobs in the
+	// slice cannot monopolize a pool and starve later jobs' stages
+	// (head-of-line unfairness): with equal-length jobs the pools rotate
+	// through all of them, which is what keeps prep and inference of
+	// *different* tables overlapped (§5).
+	prepCur, inferCur := -1, -1
 	pollEligible := func(kind StageKind) *jobState {
-		for _, st := range states {
+		cur := &prepCur
+		if kind == Infer {
+			cur = &inferCur
+		}
+		n := len(states)
+		if n == 0 {
+			return nil
+		}
+		for off := 1; off <= n; off++ {
+			i := (*cur + off) % n
+			st := states[i]
 			if st.busy || st.job.Err != nil || st.next >= len(st.job.Stages) {
 				continue
 			}
 			if st.job.Stages[st.next].Kind == kind {
+				*cur = i
 				return st
 			}
 		}

@@ -271,3 +271,39 @@ func TestManyJobsStress(t *testing.T) {
 		t.Fatalf("ran %d stages, want 800", done)
 	}
 }
+
+// TestRoundRobinDispatch pins down the dispatcher's fairness: with a single
+// infer worker and three jobs that each expose three consecutive infer
+// stages, dispatch must rotate j0 j1 j2 j0 j1 j2 … instead of draining one
+// job before touching the next (head-of-line unfairness).
+func TestRoundRobinDispatch(t *testing.T) {
+	const jobsN, stagesN = 3, 3
+	var mu sync.Mutex
+	var order []string
+	var jobs []*Job
+	for i := 0; i < jobsN; i++ {
+		id := fmt.Sprintf("j%d", i)
+		j := &Job{ID: id}
+		for k := 0; k < stagesN; k++ {
+			j.Stages = append(j.Stages, Stage{Kind: Infer, Name: fmt.Sprintf("%s/%d", id, k), Run: func() error {
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+				return nil
+			}})
+		}
+		jobs = append(jobs, j)
+	}
+	// One infer worker makes the dispatch order deterministic.
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != jobsN*stagesN {
+		t.Fatalf("ran %d stages, want %d", len(order), jobsN*stagesN)
+	}
+	for i, id := range order {
+		if want := fmt.Sprintf("j%d", i%jobsN); id != want {
+			t.Fatalf("dispatch order %v: position %d is %s, want %s (not interleaved)", order, i, id, want)
+		}
+	}
+}

@@ -30,12 +30,24 @@ type Service struct {
 	detector *core.Detector
 	mu       sync.RWMutex
 	tenants  map[string]*simdb.Server
+
+	defaultMode core.ExecMode
 }
 
-// New creates a service around a detector.
+// New creates a service around a detector. Pipelined requests default to
+// the paper's 2/2 pool sizes; SetDefaultMode overrides that (e.g. with
+// core.AutoMode() when the deployment sizes pools from the machine).
 func New(det *core.Detector) *Service {
-	return &Service{detector: det, tenants: make(map[string]*simdb.Server)}
+	return &Service{
+		detector:    det,
+		tenants:     make(map[string]*simdb.Server),
+		defaultMode: core.PipelinedMode(),
+	}
 }
+
+// SetDefaultMode sets the execution mode used for pipelined detect requests
+// that do not carry their own worker counts. Call before serving traffic.
+func (s *Service) SetDefaultMode(mode core.ExecMode) { s.defaultMode = mode }
 
 // RegisterTenant attaches a database server under the given database name.
 func (s *Service) RegisterTenant(dbName string, server *simdb.Server) {
@@ -85,11 +97,15 @@ func (s *Service) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"types": names[1:], "background": names[0]})
 }
 
-// DetectRequest is the /v1/detect payload.
+// DetectRequest is the /v1/detect payload. PrepWorkers/InferWorkers, when
+// positive, override the service's default pool sizes for this pipelined
+// request; they are ignored when Pipelined is false.
 type DetectRequest struct {
-	Database  string   `json:"database"`
-	Tables    []string `json:"tables,omitempty"` // empty = all tables
-	Pipelined bool     `json:"pipelined"`
+	Database     string   `json:"database"`
+	Tables       []string `json:"tables,omitempty"` // empty = all tables
+	Pipelined    bool     `json:"pipelined"`
+	PrepWorkers  int      `json:"prep_workers,omitempty"`
+	InferWorkers int      `json:"infer_workers,omitempty"`
 }
 
 // DetectColumn is one column's outcome in a DetectResponse.
@@ -137,7 +153,14 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if len(req.Tables) == 0 {
 		mode := core.SequentialMode
 		if req.Pipelined {
-			mode = core.PipelinedMode()
+			mode = s.defaultMode
+			mode.Pipelined = true
+			if req.PrepWorkers > 0 {
+				mode.PrepWorkers = req.PrepWorkers
+			}
+			if req.InferWorkers > 0 {
+				mode.InferWorkers = req.InferWorkers
+			}
 		}
 		rep, err := s.detector.DetectDatabase(server, req.Database, mode)
 		if err != nil {

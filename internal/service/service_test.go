@@ -228,3 +228,23 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatal("no queries recorded")
 	}
 }
+
+func TestDetectWorkerOverrides(t *testing.T) {
+	svc, ds := testService(t)
+	// A service default plus a request override must both be accepted and
+	// still produce a full result set.
+	svc.SetDefaultMode(core.ExecMode{Pipelined: true, PrepWorkers: 3, InferWorkers: 3})
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{
+		Database: "tenantdb", Pipelined: true, PrepWorkers: 1, InferWorkers: 2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables) != len(ds.Test) {
+		t.Fatalf("tables = %d, want %d", len(resp.Tables), len(ds.Test))
+	}
+}

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -78,6 +79,64 @@ func BenchmarkBackwardSmallGraph(b *testing.B) {
 		w.ZeroGrad()
 		loss := Sum(GELU(MatMul(x, w)))
 		loss.Backward()
+	}
+}
+
+// BenchmarkMatMul measures the sharded kernel across sizes and worker
+// counts; the par1/parN pairs quantify the parallel speedup (or, on a
+// single-core box, the sharding overhead).
+func BenchmarkMatMul(b *testing.B) {
+	for _, size := range []int{128, 256} {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("size%d/par%d", size, par), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(1))
+				x := benchTensor(rng, size, size)
+				y := benchTensor(rng, size, size)
+				old := Parallelism()
+				SetParallelism(par)
+				defer SetParallelism(old)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out := MatMul(x, y)
+					ReleaseGraph(out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrainStepRelease runs a full forward/backward/step cycle with the
+// graph released into the arena each iteration versus left to the GC; the
+// allocs/op delta is the arena's win.
+func BenchmarkTrainStepRelease(b *testing.B) {
+	for _, arena := range []bool{true, false} {
+		name := "arena"
+		if !arena {
+			name = "gc"
+		}
+		b.Run(name, func(b *testing.B) {
+			SetArena(arena)
+			defer SetArena(true)
+			rng := rand.New(rand.NewSource(1))
+			w1 := Param(64, 64)
+			w2 := Param(64, 64)
+			XavierUniform(w1, rng)
+			XavierUniform(w2, rng)
+			x := benchTensor(rng, 32, 64)
+			opt := NewSGD([]*Tensor{w1, w2}, 0.01, 0.9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt.ZeroGrads()
+				loss := Sum(GELU(MatMul(GELU(MatMul(x, w1)), w2)))
+				loss.Backward()
+				opt.Step()
+				if arena {
+					ReleaseGraph(loss)
+				}
+			}
+		})
 	}
 }
 

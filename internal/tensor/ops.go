@@ -51,53 +51,76 @@ func MatMulNT(a, b *Tensor) *Tensor {
 	return out
 }
 
-// matmulInto computes out = A(m×k) × B(k×n), overwriting out.
+// matmulInto computes out = A(m×k) × B(k×n), overwriting out. Output rows
+// are sharded across the runtime's worker pool; each row's accumulation
+// order is identical to the sequential kernel, so results are bit-exact
+// regardless of the parallelism setting.
 func matmulInto(out, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		orow := out[i*n : (i+1)*n]
-		for x := range orow {
-			orow[x] = 0
-		}
-		arow := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	parallelRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out[i*n : (i+1)*n]
+			for x := range orow {
+				orow[x] = 0
 			}
-			axpy(av, b[p*n:(p+1)*n], orow)
+			arow := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b[p*n:(p+1)*n], orow)
+			}
 		}
-	}
+	})
 }
 
-// matmulAccInto computes out += A(m×k) × B(k×n).
+// matmulAccInto computes out += A(m×k) × B(k×n), row-sharded like matmulInto.
 func matmulAccInto(out, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
-		orow := out[i*n : (i+1)*n]
-		arow := a[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
+	parallelRows(m, k*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out[i*n : (i+1)*n]
+			arow := a[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b[p*n:(p+1)*n], orow)
 			}
-			axpy(av, b[p*n:(p+1)*n], orow)
 		}
-	}
+	})
 }
 
-// matmulNTInto computes out (+)= A(m×k) × B(n×k)ᵀ.
+// ntTileRows is the B-row tile width of the NT kernel: a tile of 48 rows ×
+// 64-ish columns of float64 stays L1/L2-resident while it is reused against
+// every A row of a shard.
+const ntTileRows = 48
+
+// matmulNTInto computes out (+)= A(m×k) × B(n×k)ᵀ — the attention-score
+// kernel. Rows of out are sharded across the worker pool and the inner
+// loops are cache-blocked over B's rows so each tile of B is reused across
+// the shard's A rows instead of streaming the whole of B per row.
 func matmulNTInto(out, a, b []float64, m, k, n int, accumulate bool) {
-	for i := 0; i < m; i++ {
-		arow := a[i*k : (i+1)*k]
-		orow := out[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			s := dot(arow, b[j*k:(j+1)*k])
-			if accumulate {
-				orow[j] += s
-			} else {
-				orow[j] = s
+	parallelRows(m, k*n, func(lo, hi int) {
+		for j0 := 0; j0 < n; j0 += ntTileRows {
+			j1 := j0 + ntTileRows
+			if j1 > n {
+				j1 = n
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := out[i*n : (i+1)*n]
+				for j := j0; j < j1; j++ {
+					s := dot(arow, b[j*k:(j+1)*k])
+					if accumulate {
+						orow[j] += s
+					} else {
+						orow[j] = s
+					}
+				}
 			}
 		}
-	}
+	})
 }
 
 // dot computes the inner product of equal-length slices with 4-way
@@ -136,23 +159,46 @@ func axpy(alpha float64, x, y []float64) {
 	}
 }
 
-// matmulTNInto computes out (+)= A(k×m)ᵀ × B(k×n), producing m×n.
+// matmulTNInto computes out (+)= A(k×m)ᵀ × B(k×n), producing m×n. The
+// sequential path keeps the cache-friendly p-major loop; when sharded, each
+// worker owns a disjoint range of output rows and accumulates over p in the
+// same ascending order, so both paths round identically.
 func matmulTNInto(out, a, b []float64, m, k, n int, accumulate bool) {
-	if !accumulate {
-		for i := range out[:m*n] {
-			out[i] = 0
-		}
-	}
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	parallelRows(m, k*n, func(lo, hi int) {
+		if lo == 0 && hi == m {
+			if !accumulate {
+				for i := range out[:m*n] {
+					out[i] = 0
+				}
 			}
-			axpy(av, brow, out[i*n:(i+1)*n])
+			for p := 0; p < k; p++ {
+				arow := a[p*m : (p+1)*m]
+				brow := b[p*n : (p+1)*n]
+				for i, av := range arow {
+					if av == 0 {
+						continue
+					}
+					axpy(av, brow, out[i*n:(i+1)*n])
+				}
+			}
+			return
 		}
-	}
+		for i := lo; i < hi; i++ {
+			orow := out[i*n : (i+1)*n]
+			if !accumulate {
+				for x := range orow {
+					orow[x] = 0
+				}
+			}
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				axpy(av, b[p*n:(p+1)*n], orow)
+			}
+		}
+	})
 }
 
 // Add returns a + b (same shape).
@@ -530,6 +576,14 @@ func SoftmaxRows(a *Tensor, mask *Tensor) *Tensor {
 				maxv = v
 			}
 		}
+		if math.IsInf(maxv, -1) {
+			// Entire row masked (all -Inf): exp(-Inf − -Inf) would be NaN.
+			// Emit zeros; the backward pass skips these rows.
+			for j := range orow {
+				orow[j] = 0
+			}
+			continue
+		}
 		sum := 0.0
 		for j, v := range orow {
 			e := math.Exp(v - maxv)
@@ -552,6 +606,16 @@ func SoftmaxRows(a *Tensor, mask *Tensor) *Tensor {
 				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 				grow := out.Grad[i*out.Cols : (i+1)*out.Cols]
 				arow := a.Grad[i*a.Cols : (i+1)*a.Cols]
+				// Fully-masked rows were emitted as all zeros; they carry no
+				// gradient, and an upstream ±Inf grad would otherwise turn
+				// 0·(g − dot) into NaN.
+				rowSum := 0.0
+				for _, y := range orow {
+					rowSum += y
+				}
+				if rowSum == 0 {
+					continue
+				}
 				// dL/dx_j = y_j (g_j − Σ_k g_k y_k)
 				dot := 0.0
 				for j, g := range grow {

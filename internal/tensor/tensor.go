@@ -13,6 +13,12 @@
 // be built and evaluated concurrently as long as shared leaf tensors (model
 // parameters) are only read. Inference paths use NoGrad tensors so that no
 // backward state is written to shared parameters.
+//
+// Compute runtime (runtime.go): the matmul kernels row-shard across a
+// package-level worker pool sized from GOMAXPROCS (SetParallelism), with a
+// sequential fallback below a work threshold, and op-output buffers come
+// from a sync.Pool arena recycled via ReleaseGraph after each training step
+// or inference pass.
 package tensor
 
 import (
@@ -35,6 +41,11 @@ type Tensor struct {
 	parents      []*Tensor
 	backward     func()
 	name         string
+
+	// pooled/gradPooled mark Data/Grad as drawn from the buffer arena, so
+	// ReleaseGraph knows which slices to recycle.
+	pooled     bool
+	gradPooled bool
 }
 
 // New returns a zero-initialized tensor with the given shape.
@@ -111,7 +122,9 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // Detach returns a view of the same data that is cut off from the graph.
-// Mutating one mutates the other.
+// Mutating one mutates the other. A detached view must not outlive a
+// ReleaseGraph of the producing graph — the underlying buffer is recycled;
+// use Clone for a copy that survives release.
 func (t *Tensor) Detach() *Tensor {
 	return &Tensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
 }
@@ -142,10 +155,16 @@ func (t *Tensor) String() string {
 	return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols)
 }
 
-// ensureGrad allocates the gradient buffer if needed.
+// ensureGrad allocates the gradient buffer if needed. Op outputs draw from
+// the arena (their grads die with the graph); leaves get plain slices that
+// persist across steps.
 func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		if t.parents != nil {
+			t.Grad, t.gradPooled = allocData(len(t.Data))
+		} else {
+			t.Grad = make([]float64, len(t.Data))
+		}
 	}
 }
 
@@ -159,9 +178,12 @@ func (t *Tensor) ZeroGrad() {
 // result builds an op output tensor: it requires grad when any parent does,
 // and records the backward closure only in that case. When no parent tracks
 // gradients the op degenerates to a plain forward computation, which keeps
-// inference cheap and safe for concurrent use of shared parameters.
+// inference cheap and safe for concurrent use of shared parameters. Parents
+// are always recorded so ReleaseGraph can walk inference graphs too, and
+// the data buffer is drawn from the arena so release can recycle it.
 func result(rows, cols int, parents []*Tensor, backward func()) *Tensor {
-	out := New(rows, cols)
+	data, pooled := allocData(rows * cols)
+	out := &Tensor{Rows: rows, Cols: cols, Data: data, pooled: pooled, parents: parents}
 	for _, p := range parents {
 		if p.requiresGrad {
 			out.requiresGrad = true
@@ -169,7 +191,6 @@ func result(rows, cols int, parents []*Tensor, backward func()) *Tensor {
 		}
 	}
 	if out.requiresGrad {
-		out.parents = parents
 		out.backward = backward
 	}
 	return out

@@ -407,12 +407,17 @@ func TestBackwardRequiresScalar(t *testing.T) {
 	MatMul(a, a).Backward()
 }
 
-func TestNoGradPathRecordsNothing(t *testing.T) {
+func TestNoGradPathRecordsNoBackwardState(t *testing.T) {
 	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
 	b := FromSlice(2, 2, []float64{1, 0, 0, 1})
 	c := MatMul(a, b)
-	if c.RequiresGrad() || c.backward != nil || c.parents != nil {
-		t.Fatal("op over non-grad tensors must not build graph state")
+	if c.RequiresGrad() || c.backward != nil {
+		t.Fatal("op over non-grad tensors must not build backward state")
+	}
+	// Parents are still recorded so ReleaseGraph can recycle inference
+	// graphs through the arena.
+	if c.parents == nil {
+		t.Fatal("op outputs must record parents for ReleaseGraph")
 	}
 }
 

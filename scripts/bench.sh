@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the compute-runtime benchmark set and emits a JSON summary
+# (ns/op, B/op, allocs/op per benchmark) to the file named by $1
+# (default BENCH_1.json). Stdlib tooling only.
+set -eu
+
+OUT="${1:-BENCH_1.json}"
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+run() { # run <package> <benchmark regex> [benchtime]
+    pkg="$1"; pat="$2"; bt="${3:-1s}"
+    echo "bench: $pkg -bench $pat" >&2
+    go test -run '^$' -bench "$pat" -benchmem -benchtime "$bt" "$pkg" >>"$TMP" 2>&1 || {
+        echo "bench: FAILED in $pkg" >&2
+        tail -5 "$TMP" >&2
+        exit 1
+    }
+}
+
+run ./internal/tensor 'BenchmarkMatMul$|BenchmarkMatMul64$|BenchmarkMatMulNTScores$|BenchmarkTrainStepRelease' 1s
+run ./internal/nn 'BenchmarkSelfAttention128$|BenchmarkTransformerBlock$' 1s
+run ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceCachedLatents$' 1s
+run ./internal/pipeline 'BenchmarkSequentialExecution$|BenchmarkPipelinedExecution$' 1s
+run ./internal/core 'BenchmarkDetectDatabase' 3x
+
+awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    results[n++] = line
+}
+END {
+    printf "{\n  \"platform\": \"%s\",\n  \"benchmarks\": [\n", host
+    for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$TMP" >"$OUT"
+
+echo "bench: wrote $OUT ($(grep -c '"name"' "$OUT") entries)" >&2
