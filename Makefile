@@ -4,19 +4,30 @@ GO ?= go
 
 # Packages whose concurrency the race detector must vet: the tensor
 # runtime's worker pool + arena, the latent cache, the pipelined scheduler,
-# and the HTTP service.
-RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/service/...
+# the fault-injecting simdb, and the HTTP service.
+RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/...
 
-.PHONY: build test race race-all bench clean
+.PHONY: build vet test race race-all fuzz ci bench clean
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# fuzz gives the /v1/detect fuzzer a short budget beyond its seed corpus.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzHandleDetect -fuzztime=20s ./internal/service/
+
+# ci is the gate a pull request must pass: vet, build, the full test suite,
+# and the race detector over every concurrent package.
+ci: vet test race
 
 # race-all adds internal/core, whose fixture trains a model and needs a
 # far longer deadline under the race detector's ~10x slowdown.

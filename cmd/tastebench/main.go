@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -54,11 +57,26 @@ func main() {
 
 	suite := experiments.NewSuite(cfg)
 	start := time.Now()
+
+	// A first SIGINT/SIGTERM asks for a clean stop after the in-flight
+	// experiment; a second one kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		if *experiment == "all" {
+			done <- suite.RunAll(os.Stdout)
+		} else {
+			done <- suite.Run(*experiment, os.Stdout)
+		}
+	}()
 	var err error
-	if *experiment == "all" {
-		err = suite.RunAll(os.Stdout)
-	} else {
-		err = suite.Run(*experiment, os.Stdout)
+	select {
+	case err = <-done:
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "tastebench: interrupted, exiting (press again to force-kill)")
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tastebench:", err)

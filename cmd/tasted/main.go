@@ -15,10 +15,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/adtd"
 	"repro/internal/core"
@@ -40,6 +45,9 @@ func main() {
 		prepWorkers  = flag.Int("prep-workers", autoMode.PrepWorkers, "TP1 pool size for pipelined detect requests")
 		inferWorkers = flag.Int("infer-workers", autoMode.InferWorkers, "TP2 pool size for pipelined detect requests")
 		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
+		deadline     = flag.Duration("deadline", 0, "default per-request deadline for /v1/detect (0 = none; requests can override via deadline_ms)")
+		faultProb    = flag.Float64("fault-prob", 0, "demo tenant: probability of a transient fault per scan/query/connect (chaos mode)")
+		faultSeed    = flag.Int64("fault-seed", 1, "demo tenant: fault-injection seed")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*parallelism)
@@ -83,11 +91,41 @@ func main() {
 	}
 	svc := service.New(det)
 	svc.SetDefaultMode(core.ExecMode{Pipelined: true, PrepWorkers: *prepWorkers, InferWorkers: *inferWorkers})
+	svc.SetDefaultDeadline(*deadline)
 
 	demo := simdb.NewServer(simdb.PaperLatency(0.1))
 	demo.LoadTables("demo", ds.Test)
+	if *faultProb > 0 {
+		demo.SetFaultProfile(simdb.FaultProfile{
+			Seed:            *faultSeed,
+			ConnectFailProb: *faultProb,
+			QueryFailProb:   *faultProb,
+			ScanFailProb:    *faultProb,
+			MidScanDropProb: *faultProb / 2,
+			SlowQueryProb:   *faultProb,
+		})
+		log.Printf("chaos mode: demo tenant injecting transient faults with p=%.3f (seed %d)", *faultProb, *faultSeed)
+	}
 	svc.RegisterTenant("demo", demo)
 
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		// Give in-flight detect requests a bounded window to finish; their
+		// contexts descend from the server's base context and are cancelled
+		// when the window closes.
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("tasted listening on %s (demo tenant: %d tables)", *addr, len(ds.Test))
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("tasted: graceful shutdown complete")
 }

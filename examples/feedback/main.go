@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -99,12 +100,12 @@ func detectInfo(det *taste.Detector, info *metafeat.TableInfo) []string {
 	tbl := &taste.Table{Name: info.Name, Columns: cols}
 	server := taste.NewServer(taste.NoLatency)
 	server.LoadTables("adhoc", []*taste.Table{tbl})
-	conn, err := server.Connect("adhoc")
+	conn, err := server.Connect(context.Background(), "adhoc")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	res, err := det.DetectTable(conn, "adhoc", info.Name)
+	res, err := det.DetectTable(context.Background(), conn, "adhoc", info.Name)
 	if err != nil {
 		log.Fatal(err)
 	}

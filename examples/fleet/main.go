@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 		}
 		server := taste.NewServer(taste.PaperLatency(1.0))
 		server.LoadTables("tenant", batch)
-		rep, err := det.DetectDatabase(server, "tenant", r.mode)
+		rep, err := det.DetectDatabase(context.Background(), server, "tenant", r.mode)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,7 +54,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := det.DetectDatabase(server, "tenant", taste.PipelinedMode())
+		rep, err := det.DetectDatabase(context.Background(), server, "tenant", taste.PipelinedMode())
 		if err != nil {
 			log.Fatal(err)
 		}

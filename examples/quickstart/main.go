@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,19 +49,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	conn, err := server.Connect("tenant")
+	conn, err := server.Connect(context.Background(), "tenant")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
-	tables, err := conn.ListTables()
+	tables, err := conn.ListTables(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	truth := taste.GroundTruth(ds.Test)
 	fmt.Printf("\ndetecting semantic types for table %q\n", tables[0])
-	res, err := det.DetectTable(conn, "tenant", tables[0])
+	res, err := det.DetectTable(context.Background(), conn, "tenant", tables[0])
 	if err != nil {
 		log.Fatal(err)
 	}

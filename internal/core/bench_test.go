@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adtd"
@@ -52,7 +53,7 @@ func BenchmarkDetectDatabase(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				rep, err := det.DetectDatabase(server, "tenant", mode.mode)
+				rep, err := det.DetectDatabase(context.Background(), server, "tenant", mode.mode)
 				if err != nil {
 					b.Fatal(err)
 				}

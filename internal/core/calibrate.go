@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,7 +31,10 @@ type CalibrationResult struct {
 // uncertainty band whose scanned-column ratio stays within maxScanRatio —
 // i.e. the best F1 achievable under a given intrusiveness budget. truth maps
 // "table.column" to ground-truth labels for scoring.
-func CalibrateThresholds(model *adtd.Model, server *simdb.Server, dbName string, truth map[string][]string, maxScanRatio float64) (*CalibrationResult, error) {
+func CalibrateThresholds(ctx context.Context, model *adtd.Model, server *simdb.Server, dbName string, truth map[string][]string, maxScanRatio float64) (*CalibrationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if maxScanRatio < 0 || maxScanRatio > 1 {
 		return nil, fmt.Errorf("core: maxScanRatio must be in [0,1], got %v", maxScanRatio)
 	}
@@ -46,7 +50,7 @@ func CalibrateThresholds(model *adtd.Model, server *simdb.Server, dbName string,
 		if err != nil {
 			return nil, err
 		}
-		rep, err := det.DetectDatabase(server, dbName, SequentialMode)
+		rep, err := det.DetectDatabase(ctx, server, dbName, SequentialMode)
 		if err != nil {
 			return nil, err
 		}

@@ -6,10 +6,20 @@
 // the full double-tower model, reusing Phase 1's latent representations
 // through the latent cache. Batches of tables execute either sequentially
 // or through the pipelined scheduler of §5.
+//
+// The detection path is fault tolerant: transient database errors are
+// retried with exponential backoff + jitter, request deadlines propagate
+// into every stage, and when Phase 2 cannot run (scan failures, imminent
+// deadline) the affected columns degrade gracefully to their Phase-1
+// metadata answer — optionally sharpened by the rule-based detector when
+// content was already fetched — instead of failing the request.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -19,6 +29,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/metafeat"
 	"repro/internal/pipeline"
+	"repro/internal/ruledet"
 	"repro/internal/simdb"
 )
 
@@ -39,7 +50,7 @@ type Options struct {
 	SplitThreshold int
 	// Strategy selects first-m-rows or random sampling for Phase-2 scans.
 	Strategy simdb.ScanStrategy
-	// ScanSeed seeds random sampling.
+	// ScanSeed seeds random sampling and the retry jitter.
 	ScanSeed int64
 	// UseHistogram runs ANALYZE TABLE when statistics are missing and
 	// feeds the statistics/histogram features to the model ("Taste with
@@ -51,10 +62,30 @@ type Options struct {
 	// CacheCapacity bounds the latent cache; 0 disables caching ("Taste
 	// w/o caching").
 	CacheCapacity int
+
+	// MaxRetries caps how many times a transient database error is retried
+	// per operation (connect, metadata fetch, content scan) — and therefore
+	// per column, since a column's content is fetched by exactly one scan.
+	MaxRetries int
+	// RetryBaseDelay is the backoff base: attempt k sleeps
+	// base·2ᵏ + jitter, capped at RetryMaxDelay. Jitter is drawn from a
+	// generator seeded by ScanSeed, keeping runs reproducible.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff sleep.
+	RetryMaxDelay time.Duration
+	// DeadlineMargin triggers early degradation: when less than this
+	// remains before the request deadline, Phase-2 work is skipped and the
+	// affected columns fall back to Phase 1 rather than risk returning
+	// nothing at all.
+	DeadlineMargin time.Duration
+	// DisableDegradation restores the strict behaviour: any Phase-2
+	// failure fails the whole table job instead of degrading its columns.
+	DisableDegradation bool
 }
 
 // DefaultOptions returns the paper's default configuration (§6.2):
-// α=0.1, β=0.9, m=50, n=10, l=20, first-m-rows scanning, no histograms.
+// α=0.1, β=0.9, m=50, n=10, l=20, first-m-rows scanning, no histograms —
+// plus the fault-tolerance defaults (3 retries, 2 ms backoff base).
 func DefaultOptions() Options {
 	return Options{
 		Alpha:          0.1,
@@ -65,6 +96,10 @@ func DefaultOptions() Options {
 		Strategy:       simdb.FirstRows,
 		AdmitThreshold: 0.5,
 		CacheCapacity:  4096,
+		MaxRetries:     3,
+		RetryBaseDelay: 2 * time.Millisecond,
+		RetryMaxDelay:  100 * time.Millisecond,
+		DeadlineMargin: 10 * time.Millisecond,
 	}
 }
 
@@ -79,12 +114,32 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: CellsPerColumn must be ≥ 1")
 	case o.AdmitThreshold <= 0 || o.AdmitThreshold >= 1:
 		return fmt.Errorf("core: AdmitThreshold must be in (0,1)")
+	case o.MaxRetries < 0:
+		return fmt.Errorf("core: MaxRetries must be ≥ 0")
+	case o.RetryBaseDelay < 0 || o.RetryMaxDelay < 0 || o.DeadlineMargin < 0:
+		return fmt.Errorf("core: retry delays and deadline margin must be ≥ 0")
 	}
 	return nil
 }
 
 // P2Disabled reports whether the options make Phase 2 unreachable.
 func (o Options) P2Disabled() bool { return o.Alpha == o.Beta }
+
+// FaultStats is the detector's fault-tolerance ledger: how often the
+// degradation ladder was exercised since the detector was created.
+type FaultStats struct {
+	// Retries counts backoff retries of transient database errors.
+	Retries int
+	// DegradedColumns counts columns that fell back to their Phase-1
+	// answer (both failure- and deadline-triggered).
+	DegradedColumns int
+	// DeadlineDegraded counts degradations caused by an imminent or
+	// exceeded deadline.
+	DeadlineDegraded int
+	// FailureDegraded counts degradations caused by exhausted retries or
+	// permanent scan errors.
+	FailureDegraded int
+}
 
 // Detector is the Taste detection service: a trained ADTD model plus the
 // framework configuration. It is safe for concurrent use once the model is
@@ -94,9 +149,14 @@ type Detector struct {
 	Opts  Options
 
 	cache *adtd.LatentCache
+	rules *ruledet.Detector
 
 	mu       sync.Mutex
 	feedback []adtd.FeedbackExample
+
+	faultMu sync.Mutex
+	rng     *rand.Rand
+	stats   FaultStats
 }
 
 // NewDetector creates a detector over a trained model. The model is
@@ -110,11 +170,95 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 		Model: model,
 		Opts:  opts,
 		cache: adtd.NewLatentCache(opts.CacheCapacity),
+		rules: ruledet.Default(),
+		rng:   rand.New(rand.NewSource(opts.ScanSeed + 1)),
 	}, nil
 }
 
 // Cache exposes the latent cache (for stats and tests).
 func (d *Detector) Cache() *adtd.LatentCache { return d.cache }
+
+// FaultStats returns a snapshot of the fault-tolerance ledger.
+func (d *Detector) FaultStats() FaultStats {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	return d.stats
+}
+
+func (d *Detector) noteRetry() {
+	d.faultMu.Lock()
+	d.stats.Retries++
+	d.faultMu.Unlock()
+}
+
+func (d *Detector) noteDegraded(n int, deadline bool) {
+	if n == 0 {
+		return
+	}
+	d.faultMu.Lock()
+	d.stats.DegradedColumns += n
+	if deadline {
+		d.stats.DeadlineDegraded += n
+	} else {
+		d.stats.FailureDegraded += n
+	}
+	d.faultMu.Unlock()
+}
+
+// backoff returns the sleep before retry attempt+1: base·2^attempt plus up
+// to 50 % seeded jitter, capped at RetryMaxDelay (pre-jitter).
+func (d *Detector) backoff(attempt int) time.Duration {
+	base := d.Opts.RetryBaseDelay
+	if base <= 0 {
+		return 0
+	}
+	delay := base << uint(attempt)
+	if mx := d.Opts.RetryMaxDelay; mx > 0 && delay > mx {
+		delay = mx
+	}
+	d.faultMu.Lock()
+	jitter := time.Duration(d.rng.Int63n(int64(delay/2) + 1))
+	d.faultMu.Unlock()
+	return delay + jitter
+}
+
+// retry runs op under the detector's retry policy: transient errors are
+// retried up to MaxRetries times with exponential backoff + jitter, giving
+// up early when the context dies or the next backoff would cross the
+// deadline. Retries are recorded in the detector ledger and, when acct is
+// non-nil, in the database's accounting ledger. Returns the retry count.
+func (d *Detector) retry(ctx context.Context, acct *simdb.Accounting, op func() error) (int, error) {
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			return retries, nil
+		}
+		if !simdb.IsTransient(err) || attempt >= d.Opts.MaxRetries || ctx.Err() != nil {
+			return retries, err
+		}
+		delay := d.backoff(attempt)
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(dl.Add(-d.Opts.DeadlineMargin)) {
+			// Sleeping would eat the remaining budget; degrade instead.
+			return retries, err
+		}
+		retries++
+		d.noteRetry()
+		if acct != nil {
+			acct.AddRetry()
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return retries, err
+			}
+			t.Stop()
+		}
+	}
+}
 
 // ColumnResult is the detection outcome for one column.
 type ColumnResult struct {
@@ -127,6 +271,12 @@ type ColumnResult struct {
 	Uncertain bool
 	// Phase records which phase produced the final answer (1 or 2).
 	Phase int
+	// Degraded reports that Phase 2 was required but could not run; the
+	// answer is Phase 1's (possibly sharpened by the rule-based detector).
+	Degraded bool
+	// DegradeReason explains a degradation ("content scan failed: …",
+	// "deadline imminent", …). Empty unless Degraded.
+	DegradeReason string
 	// Probs are the deciding phase's probabilities indexed by the model's
 	// type space.
 	Probs []float64
@@ -139,6 +289,17 @@ type TableResult struct {
 	ScannedColumns int
 }
 
+// DegradedColumns counts the table's degraded columns.
+func (t *TableResult) DegradedColumns() int {
+	n := 0
+	for i := range t.Columns {
+		if t.Columns[i].Degraded {
+			n++
+		}
+	}
+	return n
+}
+
 // Report aggregates a batch detection run — the end-to-end view of §6.2.
 type Report struct {
 	Tables           []*TableResult
@@ -146,9 +307,13 @@ type Report struct {
 	TotalColumns     int
 	UncertainColumns int
 	ScannedColumns   int
-	CacheHits        int
-	CacheMisses      int
-	Errors           []error
+	// DegradedColumns counts columns answered by the degradation ladder.
+	DegradedColumns int
+	// Retries counts backoff retries spent on this batch.
+	Retries     int
+	CacheHits   int
+	CacheMisses int
+	Errors      []error
 }
 
 // ScannedRatio returns the intrusiveness metric of §6.2.
@@ -216,6 +381,7 @@ type tableJob struct {
 	// p1Probs[i] is Phase 1's probability row for global column i.
 	p1Probs   [][]float64
 	uncertain []int // global indices of uncertain columns
+	retries   int   // backoff retries spent on this table
 	res       *TableResult
 }
 
@@ -223,10 +389,33 @@ func (d *Detector) cacheKey(dbName, table string, chunk int) string {
 	return fmt.Sprintf("%s.%s#%d/h=%v", dbName, table, chunk, d.Opts.UseHistogram)
 }
 
+// deadlineNear reports whether the request deadline has passed or is within
+// margin — the trigger for pre-emptive degradation. A plain cancellation
+// (no deadline) is not "near": it is handled as an abort by the caller.
+func deadlineNear(ctx context.Context, margin time.Duration) (string, bool) {
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return "deadline exceeded", true
+		}
+		return "", false
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= margin {
+		return "deadline imminent", true
+	}
+	return "", false
+}
+
 // s1PrepMetadata fetches metadata (running ANALYZE first when histograms
-// are requested but absent) and builds the chunked table view.
-func (j *tableJob) s1PrepMetadata() error {
-	tm, err := j.conn.TableMetadata(j.table)
+// are requested but absent) and builds the chunked table view. Transient
+// metadata-query failures are retried per the backoff policy.
+func (j *tableJob) s1PrepMetadata(ctx context.Context) error {
+	var tm *simdb.TableMeta
+	n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
+		var e error
+		tm, e = j.conn.TableMetadata(ctx, j.table)
+		return e
+	})
+	j.retries += n
 	if err != nil {
 		return err
 	}
@@ -239,10 +428,20 @@ func (j *tableJob) s1PrepMetadata() error {
 			}
 		}
 		if missing {
-			if err := j.conn.AnalyzeTable(j.table, simdb.AnalyzeOptions{}); err != nil {
+			n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
+				return j.conn.AnalyzeTable(ctx, j.table, simdb.AnalyzeOptions{})
+			})
+			j.retries += n
+			if err != nil {
 				return err
 			}
-			if tm, err = j.conn.TableMetadata(j.table); err != nil {
+			n, err = j.d.retry(ctx, j.conn.Accounting(), func() error {
+				var e error
+				tm, e = j.conn.TableMetadata(ctx, j.table)
+				return e
+			})
+			j.retries += n
+			if err != nil {
 				return err
 			}
 		}
@@ -259,7 +458,10 @@ func (j *tableJob) s1PrepMetadata() error {
 
 // s2InferMetadata runs Phase 1 inference per chunk, populates the latent
 // cache, and classifies columns into certain/uncertain.
-func (j *tableJob) s2InferMetadata() error {
+func (j *tableJob) s2InferMetadata(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	opts := j.d.Opts
 	j.res = &TableResult{Table: j.table}
 	// Chunks cover the columns consecutively, so appending per chunk keeps
@@ -283,24 +485,120 @@ func (j *tableJob) s2InferMetadata() error {
 	return nil
 }
 
+// degrade marks the given (global) columns as degraded with the reason,
+// leaving their Phase-1 answer in place. Columns Phase 2 already resolved
+// are skipped.
+func (j *tableJob) degrade(globals []int, reason string, deadline bool) {
+	n := 0
+	for _, g := range globals {
+		cr := &j.res.Columns[g]
+		if cr.Degraded || cr.Phase == 2 {
+			continue
+		}
+		cr.Degraded = true
+		cr.DegradeReason = reason
+		n++
+	}
+	j.d.noteDegraded(n, deadline)
+}
+
+// degradeWithRules degrades columns whose content was already fetched: the
+// rule-based detector (regex/dictionary validators) runs over the scanned
+// values and its hits are merged into the Phase-1 answer — cheaper than the
+// content tower by orders of magnitude, so it fits inside a dying deadline.
+func (j *tableJob) degradeWithRules(globals []int, reason string, deadline bool) {
+	for _, g := range globals {
+		cr := &j.res.Columns[g]
+		if cr.Degraded || cr.Phase == 2 {
+			continue
+		}
+		if vals := j.info.Columns[g].Values; len(vals) > 0 {
+			cr.Admitted = mergeTypes(cr.Admitted, j.d.ruleFallback(vals))
+		}
+	}
+	j.degrade(globals, reason, deadline)
+}
+
+// ruleFallback runs the rule-based detector over values, keeping only types
+// the model's type space knows.
+func (d *Detector) ruleFallback(values []string) []string {
+	if d.rules == nil {
+		return nil
+	}
+	var out []string
+	for _, t := range d.rules.DetectColumn(values) {
+		if _, ok := d.Model.Types.Index(t); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// mergeTypes returns the sorted union of two admitted-type sets.
+func mergeTypes(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range [][]string{a, b} {
+		for _, t := range s {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // s3PrepContent scans the uncertain columns' content (§3.3). Certain
-// columns are never scanned.
-func (j *tableJob) s3PrepContent() error {
+// columns are never scanned. Transient scan failures are retried with
+// backoff; exhausted retries or permanent errors degrade the columns to
+// Phase 1 instead of failing the table (unless DisableDegradation).
+func (j *tableJob) s3PrepContent(ctx context.Context) error {
 	if len(j.uncertain) == 0 {
 		return nil
 	}
 	opts := j.d.Opts
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err // user cancellation: abort, nothing to salvage
+	}
+	if !opts.DisableDegradation {
+		if reason, ok := deadlineNear(ctx, opts.DeadlineMargin); ok {
+			j.degrade(j.uncertain, reason, true)
+			return nil
+		}
+	}
 	names := make([]string, len(j.uncertain))
 	for i, g := range j.uncertain {
 		names[i] = j.info.Columns[g].Name
 	}
-	content, err := j.conn.ScanColumns(j.table, names, simdb.ScanOptions{
-		Strategy: opts.Strategy,
-		Rows:     opts.RowsToRead,
-		Seed:     opts.ScanSeed,
+	var content map[string][]string
+	n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
+		var e error
+		content, e = j.conn.ScanColumns(ctx, j.table, names, simdb.ScanOptions{
+			Strategy: opts.Strategy,
+			Rows:     opts.RowsToRead,
+			Seed:     opts.ScanSeed,
+		})
+		return e
 	})
+	j.retries += n
 	if err != nil {
-		return err
+		if opts.DisableDegradation {
+			return err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+			return ctxErr
+		}
+		if reason, ok := deadlineNear(ctx, opts.DeadlineMargin); ok {
+			j.degrade(j.uncertain, reason, true)
+		} else {
+			j.degrade(j.uncertain, "content scan failed: "+err.Error(), false)
+		}
+		return nil
 	}
 	for _, g := range j.uncertain {
 		j.info.Columns[g].Values = content[j.info.Columns[g].Name]
@@ -309,18 +607,39 @@ func (j *tableJob) s3PrepContent() error {
 	return nil
 }
 
-// s4InferContent runs Phase 2 over the table's uncertain columns, reusing
-// cached metadata latents when available and recomputing them otherwise.
-// All chunks are classified in one batched forward (PredictContentBatch),
-// which amortizes kernel dispatch and classifier overhead across chunks.
-func (j *tableJob) s4InferContent() error {
-	if len(j.uncertain) == 0 {
+// s4InferContent runs Phase 2 over the table's pending uncertain columns,
+// reusing cached metadata latents when available and recomputing them
+// otherwise. All chunks are classified in one batched forward
+// (PredictContentBatch), which amortizes kernel dispatch and classifier
+// overhead across chunks. Columns already degraded by s3 are skipped; when
+// the deadline is near, the remaining columns degrade too — with the
+// rule-based detector over their already-fetched content as a cheap stand-in
+// for the content tower.
+func (j *tableJob) s4InferContent(ctx context.Context) error {
+	var pending []int
+	for _, g := range j.uncertain {
+		if !j.res.Columns[g].Degraded {
+			pending = append(pending, g)
+		}
+	}
+	if len(pending) == 0 {
 		return nil
 	}
 	opts := j.d.Opts
-	uncertainSet := make(map[int]bool, len(j.uncertain))
-	for _, g := range j.uncertain {
-		uncertainSet[g] = true
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if !opts.DisableDegradation {
+		if reason, ok := deadlineNear(ctx, opts.DeadlineMargin); ok {
+			j.degradeWithRules(pending, reason, true)
+			return nil
+		}
+	} else if err := ctx.Err(); err != nil {
+		return err
+	}
+	pendingSet := make(map[int]bool, len(pending))
+	for _, g := range pending {
+		pendingSet[g] = true
 	}
 	var reqs []adtd.ContentRequest
 	var globalsPerReq [][]int
@@ -328,7 +647,7 @@ func (j *tableJob) s4InferContent() error {
 		var localCols []int
 		var globals []int
 		for local := range chunk.Columns {
-			if uncertainSet[j.offsets[ci]+local] {
+			if pendingSet[j.offsets[ci]+local] {
 				localCols = append(localCols, local)
 				globals = append(globals, j.offsets[ci]+local)
 			}
@@ -399,11 +718,19 @@ func (j *tableJob) stages() []pipeline.Stage {
 }
 
 // DetectTable runs end-to-end detection for one table over an existing
-// connection.
-func (d *Detector) DetectTable(conn *simdb.Conn, dbName, table string) (*TableResult, error) {
+// connection. A nil ctx means context.Background().
+func (d *Detector) DetectTable(ctx context.Context, conn *simdb.Conn, dbName, table string) (*TableResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	j := &tableJob{d: d, conn: conn, dbName: dbName, table: table}
 	for _, st := range j.stages() {
-		if err := st.Run(); err != nil {
+		if err := st.Run(ctx); err != nil {
+			// Salvage a deadline-killed job when Phase 1 already answered.
+			if j.res != nil && !d.Opts.DisableDegradation && errors.Is(err, context.DeadlineExceeded) {
+				j.degrade(j.uncertain, "deadline exceeded", true)
+				return j.res, nil
+			}
 			return nil, fmt.Errorf("core: table %s, stage %s: %w", table, st.Name, err)
 		}
 	}
@@ -413,15 +740,33 @@ func (d *Detector) DetectTable(conn *simdb.Conn, dbName, table string) (*TableRe
 // DetectDatabase runs end-to-end detection over every table of a database,
 // reusing one connection for the whole batch (§5 recommends connection
 // reuse) and executing per the given mode. Per-table failures are collected
-// in Report.Errors without aborting the batch.
-func (d *Detector) DetectDatabase(server *simdb.Server, dbName string, mode ExecMode) (*Report, error) {
+// in Report.Errors without aborting the batch; tables whose Phase 1
+// completed before a deadline killed the batch are salvaged with their
+// unresolved columns degraded.
+func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbName string, mode ExecMode) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
-	conn, err := server.Connect(dbName)
+	batchRetries := 0
+	var conn *simdb.Conn
+	n, err := d.retry(ctx, server.Accounting(), func() error {
+		var e error
+		conn, e = server.Connect(ctx, dbName)
+		return e
+	})
+	batchRetries += n
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	tables, err := conn.ListTables()
+	var tables []string
+	n, err = d.retry(ctx, server.Accounting(), func() error {
+		var e error
+		tables, e = conn.ListTables(ctx)
+		return e
+	})
+	batchRetries += n
 	if err != nil {
 		return nil, err
 	}
@@ -438,23 +783,36 @@ func (d *Detector) DetectDatabase(server *simdb.Server, dbName string, mode Exec
 		PrepWorkers:  mode.PrepWorkers,
 		InferWorkers: mode.InferWorkers,
 	}
-	if err := sched.Run(jobs); err != nil {
+	if err := sched.Run(ctx, jobs); err != nil {
 		return nil, err
 	}
 
-	rep := &Report{Duration: time.Since(start)}
+	rep := &Report{Duration: time.Since(start), Retries: batchRetries}
 	for i, j := range jobs {
+		tj := tjobs[i]
+		// Retries spent on a table count even when the table ultimately
+		// failed — the server-side ledger saw them too.
+		rep.Retries += tj.retries
 		if j.Err != nil {
-			rep.Errors = append(rep.Errors, fmt.Errorf("table %s: %w", j.ID, j.Err))
-			continue
+			if tj.res != nil && !d.Opts.DisableDegradation && errors.Is(j.Err, context.DeadlineExceeded) {
+				// Phase 1 finished before the deadline: keep the table,
+				// degrading everything Phase 2 never reached.
+				tj.degrade(tj.uncertain, "deadline exceeded before phase 2", true)
+			} else {
+				rep.Errors = append(rep.Errors, fmt.Errorf("table %s: %w", j.ID, j.Err))
+				continue
+			}
 		}
-		tr := tjobs[i].res
+		tr := tj.res
 		rep.Tables = append(rep.Tables, tr)
 		rep.TotalColumns += len(tr.Columns)
 		rep.ScannedColumns += tr.ScannedColumns
 		for _, c := range tr.Columns {
 			if c.Uncertain {
 				rep.UncertainColumns++
+			}
+			if c.Degraded {
+				rep.DegradedColumns++
 			}
 		}
 	}

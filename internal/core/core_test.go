@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -121,13 +122,13 @@ func TestDetectTableProducesResults(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := newServer(ds)
-	conn, err := s.Connect("tenant")
+	conn, err := s.Connect(context.Background(), "tenant")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
 	src := ds.Test[0]
-	res, err := d.DetectTable(conn, "tenant", src.Name)
+	res, err := d.DetectTable(context.Background(), conn, "tenant", src.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,13 +157,13 @@ func TestDetectDatabaseSequentialVsPipelinedSameAnswers(t *testing.T) {
 	m, ds := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
 	s1 := newServer(ds)
-	seq, err := d.DetectDatabase(s1, "tenant", SequentialMode)
+	seq, err := d.DetectDatabase(context.Background(), s1, "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
 	d2, _ := NewDetector(m, DefaultOptions())
 	s2 := newServer(ds)
-	pipe, err := d2.DetectDatabase(s2, "tenant", PipelinedMode())
+	pipe, err := d2.DetectDatabase(context.Background(), s2, "tenant", PipelinedMode())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestDetectDatabaseSequentialVsPipelinedSameAnswers(t *testing.T) {
 func TestTrainedDetectorBeatsChance(t *testing.T) {
 	m, ds := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
-	rep, err := d.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestP2DisabledNeverScans(t *testing.T) {
 	opts.Alpha, opts.Beta = 0.5, 0.5
 	d, _ := NewDetector(m, opts)
 	s := newServer(ds)
-	rep, err := d.DetectDatabase(s, "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), s, "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestOnlyUncertainColumnsScanned(t *testing.T) {
 	m, ds := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
 	s := newServer(ds)
-	rep, err := d.DetectDatabase(s, "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), s, "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,12 +260,12 @@ func TestWiderBandScansMore(t *testing.T) {
 	wide.Alpha, wide.Beta = 0.02, 0.98
 
 	dn, _ := NewDetector(m, narrow)
-	repN, err := dn.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	repN, err := dn.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dw, _ := NewDetector(m, wide)
-	repW, err := dw.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	repW, err := dw.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestWiderBandScansMore(t *testing.T) {
 func TestLatentCacheUsedByP2(t *testing.T) {
 	m, ds := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
-	rep, err := d.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,12 +297,12 @@ func TestCacheDisabledStillCorrect(t *testing.T) {
 	noCache.CacheCapacity = 0
 
 	d1, _ := NewDetector(m, withCache)
-	rep1, err := d1.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	rep1, err := d1.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
 	d2, _ := NewDetector(m, noCache)
-	rep2, err := d2.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	rep2, err := d2.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestHistogramVariantRunsAnalyze(t *testing.T) {
 	d, _ := NewDetector(m, opts)
 	s := newServer(ds)
 	before := s.Accounting().Snapshot().Queries
-	if _, err := d.DetectDatabase(s, "tenant", SequentialMode); err != nil {
+	if _, err := d.DetectDatabase(context.Background(), s, "tenant", SequentialMode); err != nil {
 		t.Fatal(err)
 	}
 	after := s.Accounting().Snapshot().Queries
@@ -340,7 +341,7 @@ func TestSamplingStrategyApplied(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Strategy = simdb.RandomSample
 	d, _ := NewDetector(m, opts)
-	rep, err := d.DetectDatabase(newServer(ds), "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestReportScannedRatio(t *testing.T) {
 func TestDetectDatabaseUnknownDB(t *testing.T) {
 	m, _ := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
-	if _, err := d.DetectDatabase(simdb.NewServer(simdb.NoLatency), "ghost", SequentialMode); err == nil {
+	if _, err := d.DetectDatabase(context.Background(), simdb.NewServer(simdb.NoLatency), "ghost", SequentialMode); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -415,7 +416,7 @@ func TestRegisterTypesExtendsModel(t *testing.T) {
 func TestCalibrateThresholds(t *testing.T) {
 	m, ds := trainedModel(t)
 	truth := truthMap(ds.Test)
-	res, err := CalibrateThresholds(m, newServer(ds), "tenant", truth, 0.5)
+	res, err := CalibrateThresholds(context.Background(), m, newServer(ds), "tenant", truth, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +438,7 @@ func TestCalibrateThresholds(t *testing.T) {
 	if res.Frontier[0].ScannedRatio != 0 {
 		t.Fatalf("α=β point scanned %.2f", res.Frontier[0].ScannedRatio)
 	}
-	if _, err := CalibrateThresholds(m, newServer(ds), "tenant", truth, 1.5); err == nil {
+	if _, err := CalibrateThresholds(context.Background(), m, newServer(ds), "tenant", truth, 1.5); err == nil {
 		t.Fatal("expected error for invalid budget")
 	}
 }
@@ -446,25 +447,30 @@ func TestScanFaultDoesNotAbortBatch(t *testing.T) {
 	m, ds := trainedModel(t)
 	d, _ := NewDetector(m, DefaultOptions())
 	s := newServer(ds)
-	// Arm a fault on every test table's scan; only tables that actually
-	// reach P2 will trip it.
+	// Arm a permanent (non-transient) fault on every test table's scan; only
+	// tables that actually reach P2 will trip it. Permanent scan failures
+	// degrade the affected columns to Phase 1 instead of erroring the table.
 	for _, tb := range ds.Test {
 		s.InjectScanFault(tb.Name, fmt.Errorf("simulated network failure"))
 	}
-	rep, err := d.DetectDatabase(s, "tenant", SequentialMode)
+	rep, err := d.DetectDatabase(context.Background(), s, "tenant", SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Errors) == 0 {
+	if len(rep.Errors) != 0 {
+		t.Fatalf("scan faults must degrade, not error: %v", rep.Errors)
+	}
+	if len(rep.Tables) != len(ds.Test) {
+		t.Fatalf("tables = %d, want %d", len(rep.Tables), len(ds.Test))
+	}
+	if rep.DegradedColumns == 0 {
 		t.Skip("no table reached P2 in this run")
 	}
-	// Tables that failed are excluded from results; the rest completed.
-	if len(rep.Tables)+len(rep.Errors) != len(ds.Test) {
-		t.Fatalf("tables %d + errors %d != %d", len(rep.Tables), len(rep.Errors), len(ds.Test))
-	}
-	for _, e := range rep.Errors {
-		if !strings.Contains(e.Error(), "simulated network failure") {
-			t.Fatalf("unexpected error: %v", e)
+	for _, tr := range rep.Tables {
+		for _, c := range tr.Columns {
+			if c.Degraded && !strings.Contains(c.DegradeReason, "simulated network failure") {
+				t.Fatalf("column %s.%s: reason %q", tr.Table, c.Column, c.DegradeReason)
+			}
 		}
 	}
 }

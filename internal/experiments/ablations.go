@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -90,7 +91,7 @@ func (s *Suite) runTasteWithPool(dsName string, v TasteVariant, workers int) *Ru
 		panic(err)
 	}
 	server := s.newTestServer(ds)
-	rep, err := det.DetectDatabase(server, "tenant", pipelineMode(workers))
+	rep, err := det.DetectDatabase(context.Background(), server, "tenant", pipelineMode(workers))
 	if err != nil {
 		panic(err)
 	}
@@ -108,7 +109,7 @@ func (s *Suite) quickF1(m *adtd.Model) float64 {
 		panic(err)
 	}
 	server := noLatencyServerFor(ds)
-	rep, err := det.DetectDatabase(server, "tenant", sequentialMode())
+	rep, err := det.DetectDatabase(context.Background(), server, "tenant", sequentialMode())
 	if err != nil {
 		panic(err)
 	}

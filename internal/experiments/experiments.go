@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -294,7 +295,7 @@ func (s *Suite) validationF1(m *adtd.Model, ds *corpus.Dataset, hist bool) float
 		val = val[:60]
 	}
 	server.LoadTables("val", val)
-	rep, err := det.DetectDatabase(server, "val", core.SequentialMode)
+	rep, err := det.DetectDatabase(context.Background(), server, "val", core.SequentialMode)
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -269,7 +270,7 @@ func (s *Suite) Fig6(ks []int) *Fig6Result {
 		}
 		server := simdb.NewServer(simdb.PaperLatency(s.Cfg.LatencyScale))
 		server.LoadTables("tenant", tuned.Test)
-		rep, err := det.DetectDatabase(server, "tenant", s.pipelinedMode())
+		rep, err := det.DetectDatabase(context.Background(), server, "tenant", s.pipelinedMode())
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -48,11 +49,11 @@ func (s *Suite) runRuleBased(dsName string) *RunResult {
 	server := s.newTestServer(ds)
 	start := time.Now()
 	acc := metrics.NewF1Accumulator()
-	conn, err := server.Connect("tenant")
+	conn, err := server.Connect(context.Background(), "tenant")
 	if err != nil {
 		panic(err)
 	}
-	tables, err := conn.ListTables()
+	tables, err := conn.ListTables(context.Background())
 	if err != nil {
 		panic(err)
 	}
@@ -88,11 +89,11 @@ func (s *Suite) runSherlock(dsName string) *RunResult {
 	server := s.newTestServer(ds)
 	start := time.Now()
 	acc := metrics.NewF1Accumulator()
-	conn, err := server.Connect("tenant")
+	conn, err := server.Connect(context.Background(), "tenant")
 	if err != nil {
 		panic(err)
 	}
-	tables, err := conn.ListTables()
+	tables, err := conn.ListTables(context.Background())
 	if err != nil {
 		panic(err)
 	}
@@ -124,7 +125,7 @@ func (s *Suite) runSherlock(dsName string) *RunResult {
 // scanWholeTable fetches metadata and full content for every column,
 // returning content by column name plus the ordered column names.
 func (s *Suite) scanWholeTable(conn *simdb.Conn, table string) (map[string][]string, []string) {
-	tm, err := conn.TableMetadata(table)
+	tm, err := conn.TableMetadata(context.Background(), table)
 	if err != nil {
 		panic(err)
 	}
@@ -133,7 +134,7 @@ func (s *Suite) scanWholeTable(conn *simdb.Conn, table string) (map[string][]str
 	for i, c := range info.Columns {
 		names[i] = c.Name
 	}
-	content, err := conn.ScanColumns(table, names, simdb.ScanOptions{Strategy: simdb.FirstRows, Rows: 50})
+	content, err := conn.ScanColumns(context.Background(), table, names, simdb.ScanOptions{Strategy: simdb.FirstRows, Rows: 50})
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -151,7 +152,7 @@ func (s *Suite) RunTaste(dsName string, v TasteVariant) *RunResult {
 		if v.Pipelined {
 			mode = s.pipelinedMode()
 		}
-		rep, err := det.DetectDatabase(server, "tenant", mode)
+		rep, err := det.DetectDatabase(context.Background(), server, "tenant", mode)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: run %s: %v", v.Name, err))
 		}
@@ -195,16 +196,16 @@ func (s *Suite) RunBaseline(dsName string, v baselines.Variant, withContent bool
 		start := time.Now()
 		acc := metrics.NewF1Accumulator()
 		scanned, totalCols := 0, 0
-		conn, err := server.Connect("tenant")
+		conn, err := server.Connect(context.Background(), "tenant")
 		if err != nil {
 			panic(err)
 		}
-		tables, err := conn.ListTables()
+		tables, err := conn.ListTables(context.Background())
 		if err != nil {
 			panic(err)
 		}
 		for _, tn := range tables {
-			tm, err := conn.TableMetadata(tn)
+			tm, err := conn.TableMetadata(context.Background(), tn)
 			if err != nil {
 				panic(err)
 			}
@@ -214,7 +215,7 @@ func (s *Suite) RunBaseline(dsName string, v baselines.Variant, withContent bool
 				for i, c := range info.Columns {
 					names[i] = c.Name
 				}
-				content, err := conn.ScanColumns(tn, names, simdb.ScanOptions{Strategy: simdb.FirstRows, Rows: 50})
+				content, err := conn.ScanColumns(context.Background(), tn, names, simdb.ScanOptions{Strategy: simdb.FirstRows, Rows: 50})
 				if err != nil {
 					panic(err)
 				}

@@ -1,6 +1,7 @@
 package metafeat
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -40,12 +41,12 @@ func TestFromTableMetaMatchesCorpusView(t *testing.T) {
 	src := sampleTable()
 	s := simdb.NewServer(simdb.NoLatency)
 	s.LoadTables("db", []*corpus.Table{src})
-	conn, err := s.Connect("db")
+	conn, err := s.Connect(context.Background(), "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	tm, err := conn.TableMetadata(src.Name)
+	tm, err := conn.TableMetadata(context.Background(), src.Name)
 	if err != nil {
 		t.Fatal(err)
 	}

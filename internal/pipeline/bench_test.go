@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ func mixedJobs(n int, prep, infer time.Duration) []*Job {
 				kind = Infer
 				d = infer
 			}
-			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func() error {
+			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func(context.Context) error {
 				time.Sleep(d)
 				return nil
 			}})
@@ -31,7 +32,7 @@ func mixedJobs(n int, prep, infer time.Duration) []*Job {
 
 func BenchmarkSequentialExecution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := (Scheduler{}).Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+		if err := (Scheduler{}).Run(context.Background(), mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +41,7 @@ func BenchmarkSequentialExecution(b *testing.B) {
 func BenchmarkPipelinedExecution(b *testing.B) {
 	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
 	for i := 0; i < b.N; i++ {
-		if err := s.Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+		if err := s.Run(context.Background(), mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func BenchmarkPipelinedExecution(b *testing.B) {
 func BenchmarkPipelinedWidePools(b *testing.B) {
 	s := Scheduler{Pipelined: true, PrepWorkers: 8, InferWorkers: 8}
 	for i := 0; i < b.N; i++ {
-		if err := s.Run(mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
+		if err := s.Run(context.Background(), mixedJobs(16, 200*time.Microsecond, 200*time.Microsecond)); err != nil {
 			b.Fatal(err)
 		}
 	}

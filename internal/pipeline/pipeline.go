@@ -3,9 +3,14 @@
 // alternating between data preparation (I/O + CPU) and inference (compute),
 // and a scheduler interleaves stages of different tables across two worker
 // pools so that one table's inference overlaps another's data fetch.
+//
+// Both schedulers propagate a context.Context into every stage and stop
+// dispatching once it is cancelled, so a per-request deadline genuinely
+// cancels in-flight detection work instead of letting it run to completion.
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -29,12 +34,13 @@ func (k StageKind) String() string {
 	return "infer"
 }
 
-// Stage is one unit of work for one job (table). Run may return an error;
-// a failed stage cancels the job's remaining stages but not other jobs.
+// Stage is one unit of work for one job (table). Run receives the batch
+// context and may return an error; a failed stage cancels the job's
+// remaining stages but not other jobs.
 type Stage struct {
 	Kind StageKind
 	Name string
-	Run  func() error
+	Run  func(ctx context.Context) error
 }
 
 // Job is an ordered list of stages for one table: P1-prep, P1-infer,
@@ -42,7 +48,8 @@ type Stage struct {
 type Job struct {
 	ID     string
 	Stages []Stage
-	// Err records the first stage error, if any.
+	// Err records the first stage error, if any. When the batch context is
+	// cancelled before the job finishes, Err is the context's error.
 	Err error
 }
 
@@ -66,25 +73,34 @@ func (s Scheduler) Validate() error {
 	return nil
 }
 
-// Run executes all jobs and returns after every job finishes or fails.
-func (s Scheduler) Run(jobs []*Job) error {
+// Run executes all jobs under ctx and returns after every job finishes,
+// fails, or is cancelled. A nil ctx means context.Background(). Run never
+// leaks goroutines: it waits for in-flight stages even after cancellation.
+func (s Scheduler) Run(ctx context.Context, jobs []*Job) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !s.Pipelined {
-		runSequential(jobs)
+		runSequential(ctx, jobs)
 		return nil
 	}
-	runPipelined(jobs, s.PrepWorkers, s.InferWorkers)
+	runPipelined(ctx, jobs, s.PrepWorkers, s.InferWorkers)
 	return nil
 }
 
 // runSequential processes tables one by one, each stage in order — the
 // execution mode of TURL/Doduo and of "Taste w/o pipelining".
-func runSequential(jobs []*Job) {
+func runSequential(ctx context.Context, jobs []*Job) {
 	for _, j := range jobs {
 		for _, st := range j.Stages {
-			if err := st.Run(); err != nil {
+			if err := ctx.Err(); err != nil {
+				j.Err = err
+				break
+			}
+			if err := st.Run(ctx); err != nil {
 				j.Err = fmt.Errorf("stage %s: %w", st.Name, err)
 				break
 			}
@@ -95,8 +111,10 @@ func runSequential(jobs []*Job) {
 // runPipelined implements Algorithm 1. The stage queue holds every stage of
 // every job; a stage is eligible when all previous stages of the same job
 // have finished (Definition 5.1). Whenever a pool has a free worker, the
-// first eligible stage of the matching kind is dispatched.
-func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
+// first eligible stage of the matching kind is dispatched. Once ctx is
+// cancelled no further stages are dispatched; in-flight stages are drained
+// and every unfinished job records the context error.
+func runPipelined(ctx context.Context, jobs []*Job, prepWorkers, inferWorkers int) {
 	type jobState struct {
 		job  *Job
 		next int // index of the next stage to dispatch
@@ -112,6 +130,15 @@ func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
 	var mu sync.Mutex
 	cond := sync.NewCond(&mu)
 	prepActive, inferActive := 0, 0
+
+	// Wake the dispatch loop when the context dies so cancellation is
+	// observed even while every worker slot is idle.
+	stopWatch := context.AfterFunc(ctx, func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer stopWatch()
 
 	// pollEligible returns an eligible job whose next stage matches kind
 	// (previous stages done, not already dispatched). Each kind scans
@@ -148,7 +175,7 @@ func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
 		stage := st.job.Stages[st.next]
 		st.busy = true
 		go func() {
-			err := stage.Run()
+			err := stage.Run(ctx)
 			mu.Lock()
 			st.busy = false
 			if err != nil {
@@ -172,6 +199,9 @@ func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
 	mu.Lock()
 	defer mu.Unlock()
 	for remaining > 0 {
+		if ctx.Err() != nil {
+			break
+		}
 		progressed := false
 		if prepActive < prepWorkers {
 			if st := pollEligible(Prep); st != nil {
@@ -204,5 +234,13 @@ func runPipelined(jobs []*Job, prepWorkers, inferWorkers int) {
 	// Drain: wait for in-flight stages so Run's completion is a barrier.
 	for prepActive > 0 || inferActive > 0 {
 		cond.Wait()
+	}
+	// Attribute the cancellation to every job the scheduler abandoned.
+	if err := ctx.Err(); err != nil {
+		for _, st := range states {
+			if st.job.Err == nil && st.next < len(st.job.Stages) {
+				st.job.Err = err
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -40,7 +41,7 @@ func makeJob(r *recorder, id string, d time.Duration) *Job {
 		j.Stages = append(j.Stages, Stage{
 			Kind: kind,
 			Name: fmt.Sprintf("%s/%d", id, i),
-			Run: func() error {
+			Run: func(context.Context) error {
 				r.add(event{id, i, kind, "start"})
 				time.Sleep(d)
 				r.add(event{id, i, kind, "end"})
@@ -55,7 +56,7 @@ func TestSequentialRunsInOrder(t *testing.T) {
 	r := &recorder{}
 	jobs := []*Job{makeJob(r, "a", 0), makeJob(r, "b", 0)}
 	s := Scheduler{Pipelined: false}
-	if err := s.Run(jobs); err != nil {
+	if err := s.Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.events) != 16 {
@@ -82,7 +83,7 @@ func TestPipelinedPreservesPerJobOrder(t *testing.T) {
 		jobs = append(jobs, makeJob(r, fmt.Sprintf("j%d", i), time.Millisecond))
 	}
 	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
-	if err := s.Run(jobs); err != nil {
+	if err := s.Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	// For each job, stage starts must be ordered and each stage must start
@@ -111,7 +112,7 @@ func TestPipelinedOverlapsStages(t *testing.T) {
 		jobs = append(jobs, makeJob(r, fmt.Sprintf("j%d", i), 3*time.Millisecond))
 	}
 	s := Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
-	if err := s.Run(jobs); err != nil {
+	if err := s.Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	// Overlap check: some stage must start while a stage of another job is
@@ -145,10 +146,10 @@ func TestPipelinedFasterThanSequential(t *testing.T) {
 		return jobs
 	}
 	start := time.Now()
-	Scheduler{Pipelined: false}.Run(mk())
+	Scheduler{Pipelined: false}.Run(context.Background(), mk())
 	seq := time.Since(start)
 	start = time.Now()
-	Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}.Run(mk())
+	Scheduler{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}.Run(context.Background(), mk())
 	pipe := time.Since(start)
 	if pipe >= seq {
 		t.Fatalf("pipelined (%v) not faster than sequential (%v)", pipe, seq)
@@ -160,7 +161,7 @@ func TestPoolSizeRespected(t *testing.T) {
 	var jobs []*Job
 	for i := 0; i < 10; i++ {
 		j := &Job{ID: fmt.Sprintf("j%d", i)}
-		j.Stages = append(j.Stages, Stage{Kind: Prep, Name: "p", Run: func() error {
+		j.Stages = append(j.Stages, Stage{Kind: Prep, Name: "p", Run: func(context.Context) error {
 			cur := atomic.AddInt64(&active, 1)
 			for {
 				old := atomic.LoadInt64(&maxActive)
@@ -174,7 +175,7 @@ func TestPoolSizeRespected(t *testing.T) {
 		}})
 		jobs = append(jobs, j)
 	}
-	Scheduler{Pipelined: true, PrepWorkers: 3, InferWorkers: 1}.Run(jobs)
+	Scheduler{Pipelined: true, PrepWorkers: 3, InferWorkers: 1}.Run(context.Background(), jobs)
 	if m := atomic.LoadInt64(&maxActive); m > 3 {
 		t.Fatalf("prep concurrency %d exceeded pool size 3", m)
 	}
@@ -184,8 +185,8 @@ func TestFailedStageCancelsJobOnly(t *testing.T) {
 	boom := errors.New("boom")
 	ran := make(map[string]bool)
 	var mu sync.Mutex
-	mark := func(k string) func() error {
-		return func() error {
+	mark := func(k string) func(context.Context) error {
+		return func(context.Context) error {
 			mu.Lock()
 			ran[k] = true
 			mu.Unlock()
@@ -193,7 +194,7 @@ func TestFailedStageCancelsJobOnly(t *testing.T) {
 		}
 	}
 	bad := &Job{ID: "bad", Stages: []Stage{
-		{Kind: Prep, Name: "bad/0", Run: func() error { return boom }},
+		{Kind: Prep, Name: "bad/0", Run: func(context.Context) error { return boom }},
 		{Kind: Infer, Name: "bad/1", Run: mark("bad/1")},
 	}}
 	good := &Job{ID: "good", Stages: []Stage{
@@ -204,7 +205,7 @@ func TestFailedStageCancelsJobOnly(t *testing.T) {
 		ran = map[string]bool{}
 		bad.Err, good.Err = nil, nil
 		s := Scheduler{Pipelined: pipelined, PrepWorkers: 1, InferWorkers: 1}
-		if err := s.Run([]*Job{bad, good}); err != nil {
+		if err := s.Run(context.Background(), []*Job{bad, good}); err != nil {
 			t.Fatal(err)
 		}
 		if bad.Err == nil || !errors.Is(bad.Err, boom) {
@@ -220,23 +221,23 @@ func TestFailedStageCancelsJobOnly(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 0, InferWorkers: 1}).Run(nil); err == nil {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 0, InferWorkers: 1}).Run(context.Background(), nil); err == nil {
 		t.Fatal("expected validation error")
 	}
-	if err := (Scheduler{Pipelined: false}).Run(nil); err != nil {
+	if err := (Scheduler{Pipelined: false}).Run(context.Background(), nil); err != nil {
 		t.Fatalf("sequential with no workers must be fine: %v", err)
 	}
 }
 
 func TestEmptyJobList(t *testing.T) {
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(nil); err != nil {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestJobWithNoStages(t *testing.T) {
 	j := &Job{ID: "empty"}
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run([]*Job{j}); err != nil {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(context.Background(), []*Job{j}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -257,14 +258,14 @@ func TestManyJobsStress(t *testing.T) {
 			if k%2 == 1 {
 				kind = Infer
 			}
-			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func() error {
+			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func(context.Context) error {
 				atomic.AddInt64(&done, 1)
 				return nil
 			}})
 		}
 		jobs = append(jobs, j)
 	}
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 4, InferWorkers: 4}).Run(jobs); err != nil {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 4, InferWorkers: 4}).Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if done != 800 {
@@ -285,7 +286,7 @@ func TestRoundRobinDispatch(t *testing.T) {
 		id := fmt.Sprintf("j%d", i)
 		j := &Job{ID: id}
 		for k := 0; k < stagesN; k++ {
-			j.Stages = append(j.Stages, Stage{Kind: Infer, Name: fmt.Sprintf("%s/%d", id, k), Run: func() error {
+			j.Stages = append(j.Stages, Stage{Kind: Infer, Name: fmt.Sprintf("%s/%d", id, k), Run: func(context.Context) error {
 				mu.Lock()
 				order = append(order, id)
 				mu.Unlock()
@@ -295,7 +296,7 @@ func TestRoundRobinDispatch(t *testing.T) {
 		jobs = append(jobs, j)
 	}
 	// One infer worker makes the dispatch order deterministic.
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(jobs); err != nil {
+	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
 	if len(order) != jobsN*stagesN {

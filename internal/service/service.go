@@ -8,13 +8,22 @@
 //
 //	GET  /healthz              liveness probe
 //	GET  /v1/types             the semantic type domain
-//	POST /v1/detect            {"database": "...", "tables": ["t1"]?, "pipelined": bool}
+//	POST /v1/detect            {"database": "...", "tables": ["t1"]?, "pipelined": bool,
+//	                            "deadline_ms": 0}
 //	POST /v1/feedback          {"database", "table", "column", "labels": [...]}
-//	GET  /v1/stats             accounting ledger + latent cache statistics
+//	GET  /v1/stats             accounting ledger + cache + fault statistics
+//
+// A detect request with deadline_ms > 0 runs under a context deadline that
+// propagates into every prep and inference stage. When the deadline (or a
+// flaky tenant database) prevents Phase 2, the response still carries typed
+// results for every reachable column, with "degraded": true and a
+// per-column reason — a deadline is an SLO, not a 500.
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -31,7 +40,8 @@ type Service struct {
 	mu       sync.RWMutex
 	tenants  map[string]*simdb.Server
 
-	defaultMode core.ExecMode
+	defaultMode     core.ExecMode
+	defaultDeadline time.Duration
 }
 
 // New creates a service around a detector. Pipelined requests default to
@@ -48,6 +58,11 @@ func New(det *core.Detector) *Service {
 // SetDefaultMode sets the execution mode used for pipelined detect requests
 // that do not carry their own worker counts. Call before serving traffic.
 func (s *Service) SetDefaultMode(mode core.ExecMode) { s.defaultMode = mode }
+
+// SetDefaultDeadline sets the per-request deadline applied to detect
+// requests that do not carry their own deadline_ms (0 disables). Call
+// before serving traffic.
+func (s *Service) SetDefaultDeadline(d time.Duration) { s.defaultDeadline = d }
 
 // RegisterTenant attaches a database server under the given database name.
 func (s *Service) RegisterTenant(dbName string, server *simdb.Server) {
@@ -99,13 +114,16 @@ func (s *Service) handleTypes(w http.ResponseWriter, r *http.Request) {
 
 // DetectRequest is the /v1/detect payload. PrepWorkers/InferWorkers, when
 // positive, override the service's default pool sizes for this pipelined
-// request; they are ignored when Pipelined is false.
+// request; they are ignored when Pipelined is false. DeadlineMillis, when
+// positive, bounds the whole request: stages past the deadline degrade to
+// Phase-1 answers instead of running.
 type DetectRequest struct {
-	Database     string   `json:"database"`
-	Tables       []string `json:"tables,omitempty"` // empty = all tables
-	Pipelined    bool     `json:"pipelined"`
-	PrepWorkers  int      `json:"prep_workers,omitempty"`
-	InferWorkers int      `json:"infer_workers,omitempty"`
+	Database       string   `json:"database"`
+	Tables         []string `json:"tables,omitempty"` // empty = all tables
+	Pipelined      bool     `json:"pipelined"`
+	PrepWorkers    int      `json:"prep_workers,omitempty"`
+	InferWorkers   int      `json:"infer_workers,omitempty"`
+	DeadlineMillis int64    `json:"deadline_ms,omitempty"`
 }
 
 // DetectColumn is one column's outcome in a DetectResponse.
@@ -114,6 +132,11 @@ type DetectColumn struct {
 	Types   []string `json:"types"`
 	Phase   int      `json:"phase"`
 	Scanned bool     `json:"scanned"`
+	// Degraded marks a column whose Phase-2 answer was unavailable (scan
+	// failure, deadline); Types then carries the Phase-1 fallback.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradeReason explains the degradation.
+	DegradeReason string `json:"degrade_reason,omitempty"`
 }
 
 // DetectTable is one table's outcome.
@@ -129,7 +152,14 @@ type DetectResponse struct {
 	DurationMillis int64         `json:"duration_ms"`
 	TotalColumns   int           `json:"total_columns"`
 	ScannedColumns int           `json:"scanned_columns"`
-	Errors         []string      `json:"errors,omitempty"`
+	// Degraded reports that at least one column fell back to Phase 1 or
+	// that the deadline cut the batch short.
+	Degraded bool `json:"degraded"`
+	// DegradedColumns counts columns answered by the degradation ladder.
+	DegradedColumns int `json:"degraded_columns"`
+	// Retries counts transient-error retries spent on this request.
+	Retries int      `json:"retries"`
+	Errors  []string `json:"errors,omitempty"`
 }
 
 func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -142,10 +172,25 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if req.DeadlineMillis < 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms must be ≥ 0")
+		return
+	}
 	server, ok := s.tenant(req.Database)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
 		return
+	}
+
+	ctx := r.Context()
+	deadline := time.Duration(req.DeadlineMillis) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.defaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
 	}
 
 	resp := DetectResponse{Database: req.Database}
@@ -162,8 +207,17 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 				mode.InferWorkers = req.InferWorkers
 			}
 		}
-		rep, err := s.detector.DetectDatabase(server, req.Database, mode)
+		rep, err := s.detector.DetectDatabase(ctx, server, req.Database, mode)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The deadline fired before any table resolved: still a
+				// valid, fully degraded response — not a server error.
+				resp.Degraded = true
+				resp.Errors = append(resp.Errors, err.Error())
+				resp.DurationMillis = time.Since(start).Milliseconds()
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 			writeError(w, http.StatusInternalServerError, "detection failed: %v", err)
 			return
 		}
@@ -172,25 +226,49 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.TotalColumns = rep.TotalColumns
 		resp.ScannedColumns = rep.ScannedColumns
+		resp.DegradedColumns = rep.DegradedColumns
+		resp.Retries = rep.Retries
+		resp.Degraded = rep.DegradedColumns > 0
 		for _, e := range rep.Errors {
 			resp.Errors = append(resp.Errors, e.Error())
+			if errors.Is(e, context.DeadlineExceeded) {
+				resp.Degraded = true
+			}
 		}
 	} else {
-		conn, err := server.Connect(req.Database)
-		if err != nil {
+		var conn *simdb.Conn
+		var err error
+		if conn, err = server.Connect(ctx, req.Database); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				resp.Degraded = true
+				resp.Errors = append(resp.Errors, err.Error())
+				resp.DurationMillis = time.Since(start).Milliseconds()
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 			writeError(w, http.StatusInternalServerError, "connect: %v", err)
 			return
 		}
 		defer conn.Close()
+		before := s.detector.FaultStats()
 		for _, table := range req.Tables {
-			tr, err := s.detector.DetectTable(conn, req.Database, table)
+			tr, err := s.detector.DetectTable(ctx, conn, req.Database, table)
 			if err != nil {
 				resp.Errors = append(resp.Errors, err.Error())
+				if errors.Is(err, context.DeadlineExceeded) {
+					resp.Degraded = true
+				}
 				continue
 			}
 			resp.Tables = append(resp.Tables, toDetectTable(tr))
 			resp.TotalColumns += len(tr.Columns)
 			resp.ScannedColumns += tr.ScannedColumns
+			resp.DegradedColumns += tr.DegradedColumns()
+		}
+		after := s.detector.FaultStats()
+		resp.Retries = after.Retries - before.Retries
+		if resp.DegradedColumns > 0 {
+			resp.Degraded = true
 		}
 	}
 	resp.DurationMillis = time.Since(start).Milliseconds()
@@ -205,10 +283,12 @@ func toDetectTable(tr *core.TableResult) DetectTable {
 			types = []string{}
 		}
 		out.Columns = append(out.Columns, DetectColumn{
-			Column:  c.Column,
-			Types:   types,
-			Phase:   c.Phase,
-			Scanned: c.Phase == 2,
+			Column:        c.Column,
+			Types:         types,
+			Phase:         c.Phase,
+			Scanned:       c.Phase == 2,
+			Degraded:      c.Degraded,
+			DegradeReason: c.DegradeReason,
 		})
 	}
 	return out
@@ -238,13 +318,14 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
 		return
 	}
-	conn, err := server.Connect(req.Database)
+	ctx := r.Context()
+	conn, err := server.Connect(ctx, req.Database)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "connect: %v", err)
 		return
 	}
 	defer conn.Close()
-	tm, err := conn.TableMetadata(req.Table)
+	tm, err := conn.TableMetadata(ctx, req.Table)
 	if err != nil {
 		writeError(w, http.StatusNotFound, "table: %v", err)
 		return
@@ -279,6 +360,14 @@ type StatsResponse struct {
 		Misses int `json:"misses"`
 		Size   int `json:"size"`
 	} `json:"cache"`
+	// Detector is the fault-tolerance ledger: retries spent and columns
+	// degraded since the service started.
+	Detector struct {
+		Retries          int `json:"retries"`
+		DegradedColumns  int `json:"degraded_columns"`
+		DeadlineDegraded int `json:"deadline_degraded"`
+		FailureDegraded  int `json:"failure_degraded"`
+	} `json:"detector"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -296,5 +385,10 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Hits = hits
 	resp.Cache.Misses = misses
 	resp.Cache.Size = s.detector.Cache().Len()
+	fs := s.detector.FaultStats()
+	resp.Detector.Retries = fs.Retries
+	resp.Detector.DegradedColumns = fs.DegradedColumns
+	resp.Detector.DeadlineDegraded = fs.DeadlineDegraded
+	resp.Detector.FailureDegraded = fs.FailureDegraded
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -248,3 +248,156 @@ func TestDetectWorkerOverrides(t *testing.T) {
 		t.Fatalf("tables = %d, want %d", len(resp.Tables), len(ds.Test))
 	}
 }
+
+// TestDetectDeadlineDegradedNot500: deadline_ms=1 cannot possibly finish
+// Phase 2, but the endpoint must still answer 200 with a valid, degraded
+// response — a deadline is an SLO, not a server error.
+func TestDetectDeadlineDegradedNot500(t *testing.T) {
+	svc, _ := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb", DeadlineMillis: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatalf("a 1 ms deadline must degrade the response: %s", rec.Body)
+	}
+	// Whatever survived the deadline must be well-formed.
+	for _, tb := range resp.Tables {
+		for _, c := range tb.Columns {
+			if c.Types == nil {
+				t.Fatal("types must serialize as [] not null")
+			}
+			if c.Degraded && c.DegradeReason == "" {
+				t.Fatal("degraded column without reason")
+			}
+		}
+	}
+}
+
+func TestDetectNegativeDeadlineRejected(t *testing.T) {
+	svc, _ := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "tenantdb", DeadlineMillis: -5})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+// TestDetectFaultyTenant is the acceptance scenario: a tenant database with
+// a seeded FaultProfile injecting transient scan errors must still yield a
+// typed result for every column of every table — some degraded — with the
+// retries visible in the stats ledger.
+func TestDetectFaultyTenant(t *testing.T) {
+	svc, ds := testService(t)
+	flaky := simdb.NewServer(simdb.NoLatency)
+	flaky.LoadTables("flakydb", ds.Test)
+	flaky.SetFaultProfile(simdb.FaultProfile{Seed: 77, ScanFailProb: 0.6, QueryFailProb: 0.1})
+	svc.RegisterTenant("flakydb", flaky)
+
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{Database: "flakydb"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tables)+len(resp.Errors) < len(ds.Test) {
+		t.Fatalf("tables %d + errors %d < %d", len(resp.Tables), len(resp.Errors), len(ds.Test))
+	}
+	typed := 0
+	for _, tb := range resp.Tables {
+		for _, c := range tb.Columns {
+			if c.Types == nil {
+				t.Fatalf("column %s.%s: nil types", tb.Table, c.Column)
+			}
+			typed++
+		}
+	}
+	if typed == 0 {
+		t.Fatal("no columns typed")
+	}
+	if resp.DegradedColumns == 0 && resp.Retries == 0 {
+		t.Fatalf("a 0.6 scan-failure rate must cause retries or degradations: %s", rec.Body)
+	}
+
+	// The retry/degradation ledgers surface through /v1/stats.
+	srec := doJSON(t, svc.Handler(), http.MethodGet, "/v1/stats", nil)
+	if srec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", srec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(srec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := stats.Tenants["flakydb"]
+	if !ok {
+		t.Fatal("missing flakydb tenant stats")
+	}
+	if snap.Faults == 0 {
+		t.Fatal("tenant ledger recorded no injected faults")
+	}
+	if snap.Retries != resp.Retries {
+		t.Fatalf("tenant ledger retries %d != response retries %d", snap.Retries, resp.Retries)
+	}
+	if stats.Detector.Retries < resp.Retries {
+		t.Fatalf("detector ledger retries %d < response retries %d", stats.Detector.Retries, resp.Retries)
+	}
+	if resp.DegradedColumns > 0 && stats.Detector.DegradedColumns == 0 {
+		t.Fatal("detector ledger missed the degradations")
+	}
+}
+
+// TestDetectSpecificTablesWithDeadline exercises the per-table path's
+// deadline handling: an expired deadline must still produce a 200.
+func TestDetectSpecificTablesWithDeadline(t *testing.T) {
+	svc, ds := testService(t)
+	rec := doJSON(t, svc.Handler(), http.MethodPost, "/v1/detect", DetectRequest{
+		Database: "tenantdb", Tables: []string{ds.Test[0].Name}, DeadlineMillis: 1,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp DetectResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Fatalf("expired deadline must mark the response degraded: %s", rec.Body)
+	}
+}
+
+// FuzzHandleDetect feeds arbitrary bodies to /v1/detect: whatever comes in,
+// the handler must answer with a well-formed JSON response and never panic.
+func FuzzHandleDetect(f *testing.F) {
+	seedT := &testing.T{}
+	svc, _ := testService(seedT)
+	if seedT.Failed() {
+		f.Fatal("service setup failed")
+	}
+	h := svc.Handler()
+	f.Add(`{"database":"tenantdb"}`)
+	f.Add(`{"database":"tenantdb","deadline_ms":1}`)
+	f.Add(`{"database":"tenantdb","tables":["ghost"],"pipelined":true}`)
+	f.Add(`{"database":"ghost"}`)
+	f.Add(`{not json`)
+	f.Add(`{"deadline_ms":-1}`)
+	f.Add(``)
+	f.Add(`{"database":"tenantdb","deadline_ms":9999999999999}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/detect", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusNotFound:
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("invalid JSON response for body %q: %s", body, rec.Body)
+		}
+	})
+}

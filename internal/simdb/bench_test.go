@@ -1,6 +1,7 @@
 package simdb
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/corpus"
@@ -16,12 +17,12 @@ func benchServer(b *testing.B) (*Server, []*corpus.Table) {
 
 func BenchmarkTableMetadata(b *testing.B) {
 	s, tables := benchServer(b)
-	conn, _ := s.Connect("db")
+	conn, _ := s.Connect(context.Background(), "db")
 	defer conn.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := conn.TableMetadata(tables[i%len(tables)].Name); err != nil {
+		if _, err := conn.TableMetadata(context.Background(), tables[i%len(tables)].Name); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -29,12 +30,12 @@ func BenchmarkTableMetadata(b *testing.B) {
 
 func BenchmarkScanFirstRows(b *testing.B) {
 	s, tables := benchServer(b)
-	conn, _ := s.Connect("db")
+	conn, _ := s.Connect(context.Background(), "db")
 	defer conn.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := tables[i%len(tables)]
-		if _, err := conn.ScanColumns(t.Name, []string{t.Columns[0].Name}, ScanOptions{Rows: 50}); err != nil {
+		if _, err := conn.ScanColumns(context.Background(), t.Name, []string{t.Columns[0].Name}, ScanOptions{Rows: 50}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,12 +43,12 @@ func BenchmarkScanFirstRows(b *testing.B) {
 
 func BenchmarkScanRandomSample(b *testing.B) {
 	s, tables := benchServer(b)
-	conn, _ := s.Connect("db")
+	conn, _ := s.Connect(context.Background(), "db")
 	defer conn.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := tables[i%len(tables)]
-		if _, err := conn.ScanColumns(t.Name, []string{t.Columns[0].Name}, ScanOptions{Strategy: RandomSample, Rows: 50, Seed: int64(i)}); err != nil {
+		if _, err := conn.ScanColumns(context.Background(), t.Name, []string{t.Columns[0].Name}, ScanOptions{Strategy: RandomSample, Rows: 50, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -55,11 +56,11 @@ func BenchmarkScanRandomSample(b *testing.B) {
 
 func BenchmarkAnalyzeTable(b *testing.B) {
 	s, tables := benchServer(b)
-	conn, _ := s.Connect("db")
+	conn, _ := s.Connect(context.Background(), "db")
 	defer conn.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := conn.AnalyzeTable(tables[i%len(tables)].Name, AnalyzeOptions{}); err != nil {
+		if err := conn.AnalyzeTable(context.Background(), tables[i%len(tables)].Name, AnalyzeOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package simdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -70,7 +71,7 @@ type AnalyzeOptions struct {
 // happens inside the database server, so the detection service pays only a
 // query round trip, not a per-row transfer; but the stats become part of the
 // metadata returned by TableMetadata afterwards.
-func (c *Conn) AnalyzeTable(table string, opts AnalyzeOptions) error {
+func (c *Conn) AnalyzeTable(ctx context.Context, table string, opts AnalyzeOptions) error {
 	if err := c.check(); err != nil {
 		return err
 	}
@@ -82,8 +83,15 @@ func (c *Conn) AnalyzeTable(table string, opts AnalyzeOptions) error {
 	if buckets <= 0 {
 		buckets = 8
 	}
-	c.server.latency.sleep(c.server.latency.QueryRoundTrip + time.Duration(st.rows)*c.server.latency.PerCell/10)
+	d := c.server.decide(opQuery, c.db.name+"."+table)
+	cost := c.server.latency.QueryRoundTrip + time.Duration(st.rows)*c.server.latency.PerCell/10
+	if err := c.server.latency.sleep(ctx, scaleDur(cost, d.slowFactor)); err != nil {
+		return err
+	}
 	c.server.acct.addQuery()
+	if d.err != nil {
+		return d.err
+	}
 	for _, col := range st.columns {
 		stats := computeStats(col.values, buckets)
 		col.statsMu.Lock()

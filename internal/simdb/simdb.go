@@ -8,16 +8,21 @@
 //   - column-content scans with both "first m rows" and "random sampling of
 //     m rows" strategies (§6.1.2),
 //   - a configurable latency model injecting real delays for connection
-//     setup, query round trips, and per-row transfer, and
+//     setup, query round trips, and per-row transfer,
+//   - deterministic, seedable fault injection (transient errors, slow
+//     queries, mid-scan connection drops — see FaultProfile), and
 //   - an accounting ledger tracking connections, queries, scanned columns,
-//     rows and bytes — the raw material for the "ratio of scanned columns"
-//     intrusiveness metric (§6.2).
+//     rows, bytes, faults and client retries — the raw material for the
+//     "ratio of scanned columns" intrusiveness metric (§6.2).
 //
+// Every data-path method takes a context.Context: injected latency sleeps
+// are interruptible, so a cancelled request stops paying simulated I/O.
 // All methods are safe for concurrent use; the pipelined executor issues
 // scans from multiple data-preparation workers at once.
 package simdb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -63,9 +68,23 @@ func PaperLatency(scale float64) LatencyProfile {
 // NoLatency disables all injected delays; used by unit tests.
 var NoLatency = LatencyProfile{SamplingPenalty: 1}
 
-func (l LatencyProfile) sleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+// sleep pays d of simulated I/O, returning early with the context's error
+// if the request is cancelled mid-wait. A cancelled context also aborts
+// zero-length sleeps, so even NoLatency servers observe deadlines.
+func (l LatencyProfile) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -78,6 +97,8 @@ type Accounting struct {
 	RowsScanned    int
 	CellsRead      int
 	BytesRead      int
+	Faults         int // server-side injected faults that fired
+	Retries        int // client-reported retry attempts (AddRetry)
 	scannedCols    map[string]bool
 }
 
@@ -93,6 +114,8 @@ func (a *Accounting) Snapshot() AccountingSnapshot {
 		RowsScanned:         a.RowsScanned,
 		CellsRead:           a.CellsRead,
 		BytesRead:           a.BytesRead,
+		Faults:              a.Faults,
+		Retries:             a.Retries,
 	}
 }
 
@@ -105,6 +128,8 @@ type AccountingSnapshot struct {
 	RowsScanned         int
 	CellsRead           int
 	BytesRead           int
+	Faults              int
+	Retries             int
 }
 
 // Reset zeroes all counters.
@@ -113,6 +138,7 @@ func (a *Accounting) Reset() {
 	defer a.mu.Unlock()
 	a.Connections, a.Queries, a.ColumnsScanned = 0, 0, 0
 	a.RowsScanned, a.CellsRead, a.BytesRead = 0, 0, 0
+	a.Faults, a.Retries = 0, 0
 	a.scannedCols = nil
 }
 
@@ -125,6 +151,20 @@ func (a *Accounting) addConn() {
 func (a *Accounting) addQuery() {
 	a.mu.Lock()
 	a.Queries++
+	a.mu.Unlock()
+}
+
+func (a *Accounting) addFault() {
+	a.mu.Lock()
+	a.Faults++
+	a.mu.Unlock()
+}
+
+// AddRetry records a client-side retry against this database, so the ledger
+// reflects the extra load retries place on the server.
+func (a *Accounting) AddRetry() {
+	a.mu.Lock()
+	a.Retries++
 	a.mu.Unlock()
 }
 
@@ -151,8 +191,9 @@ type Server struct {
 	latency   LatencyProfile
 	acct      Accounting
 
-	faultMu sync.Mutex
-	faults  map[string]error // table name → error returned by the next scan
+	faultMu      sync.Mutex
+	faults       map[string]error // table name → error returned by the next scan
+	faultProfile *faultState      // nil = no probabilistic fault injection
 }
 
 type database struct {
@@ -190,7 +231,8 @@ func (s *Server) Latency() LatencyProfile { return s.latency }
 
 // InjectScanFault arms a one-shot failure: the next ScanColumns against the
 // named table returns err. Used to exercise the detection service's
-// partial-failure handling (a flaky table must not abort a batch).
+// partial-failure handling (a flaky table must not abort a batch). Wrap err
+// with Transient to make the failure retryable.
 func (s *Server) InjectScanFault(table string, err error) {
 	s.faultMu.Lock()
 	defer s.faultMu.Unlock()
@@ -209,6 +251,7 @@ func (s *Server) takeFault(table string) error {
 		return nil
 	}
 	delete(s.faults, table)
+	s.acct.addFault()
 	return err
 }
 
@@ -242,8 +285,16 @@ func (s *Server) LoadTables(dbName string, tables []*corpus.Table) {
 }
 
 // Connect opens a connection to the named database, paying the setup cost.
-func (s *Server) Connect(dbName string) (*Conn, error) {
-	s.latency.sleep(s.latency.ConnectionSetup)
+// With a fault profile armed, the attempt may fail transiently after the
+// setup latency — exactly when a real TCP/TLS handshake times out.
+func (s *Server) Connect(ctx context.Context, dbName string) (*Conn, error) {
+	d := s.decide(opConnect, dbName)
+	if err := s.latency.sleep(ctx, scaleDur(s.latency.ConnectionSetup, d.slowFactor)); err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
 	s.mu.RLock()
 	db := s.databases[dbName]
 	s.mu.RUnlock()
@@ -252,6 +303,14 @@ func (s *Server) Connect(dbName string) (*Conn, error) {
 	}
 	s.acct.addConn()
 	return &Conn{server: s, db: db}, nil
+}
+
+// scaleDur multiplies a latency cost by a slow-query factor.
+func scaleDur(d time.Duration, factor float64) time.Duration {
+	if factor == 1 || factor <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * factor)
 }
 
 // Conn is a client connection. A Conn may be shared by multiple goroutines,
@@ -263,7 +322,12 @@ type Conn struct {
 	closed bool
 }
 
-// Close releases the connection.
+// Accounting returns the ledger of the server this connection talks to, so
+// clients can report retries against the right database.
+func (c *Conn) Accounting() *Accounting { return &c.server.acct }
+
+// Close releases the connection. The close handshake is fire-and-forget, so
+// it does not take a context.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -271,7 +335,7 @@ func (c *Conn) Close() error {
 		return fmt.Errorf("simdb: connection already closed")
 	}
 	c.closed = true
-	c.server.latency.sleep(c.server.latency.ConnectionClose)
+	_ = c.server.latency.sleep(context.Background(), c.server.latency.ConnectionClose)
 	return nil
 }
 
@@ -285,12 +349,18 @@ func (c *Conn) check() error {
 }
 
 // ListTables returns the table names in load order (one metadata query).
-func (c *Conn) ListTables() ([]string, error) {
+func (c *Conn) ListTables(ctx context.Context) ([]string, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	c.server.latency.sleep(c.server.latency.QueryRoundTrip)
+	d := c.server.decide(opQuery, c.db.name)
+	if err := c.server.latency.sleep(ctx, scaleDur(c.server.latency.QueryRoundTrip, d.slowFactor)); err != nil {
+		return nil, err
+	}
 	c.server.acct.addQuery()
+	if d.err != nil {
+		return nil, d.err
+	}
 	return append([]string(nil), c.db.order...), nil
 }
 
@@ -314,12 +384,18 @@ type TableMeta struct {
 // TableMetadata fetches schema metadata for a table — the SELECT * FROM
 // information_schema.columns of §3.2. It costs one query round trip and
 // never touches column content.
-func (c *Conn) TableMetadata(table string) (*TableMeta, error) {
+func (c *Conn) TableMetadata(ctx context.Context, table string) (*TableMeta, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	c.server.latency.sleep(c.server.latency.QueryRoundTrip)
+	d := c.server.decide(opQuery, c.db.name+"."+table)
+	if err := c.server.latency.sleep(ctx, scaleDur(c.server.latency.QueryRoundTrip, d.slowFactor)); err != nil {
+		return nil, err
+	}
 	c.server.acct.addQuery()
+	if d.err != nil {
+		return nil, d.err
+	}
 	st, ok := c.db.tables[table]
 	if !ok {
 		return nil, fmt.Errorf("simdb: unknown table %s.%s", c.db.name, table)
@@ -358,13 +434,25 @@ type ScanOptions struct {
 // ScanColumns retrieves content for the named columns of a table. The
 // result maps column name → cell values in row order. The call pays one
 // query round trip plus a per-row transfer cost, and is recorded in the
-// accounting ledger as an intrusive operation.
-func (c *Conn) ScanColumns(table string, cols []string, opts ScanOptions) (map[string][]string, error) {
+// accounting ledger as an intrusive operation. Under an armed FaultProfile
+// the scan may fail transiently up front, or drop mid-transfer after paying
+// part of the per-cell latency.
+func (c *Conn) ScanColumns(ctx context.Context, table string, cols []string, opts ScanOptions) (map[string][]string, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
 	if err := c.server.takeFault(table); err != nil {
 		return nil, err
+	}
+	d := c.server.decide(opScan, c.db.name+"."+table)
+	lat := c.server.latency
+	if d.err != nil && !d.midScan {
+		// Up-front failure: the round trip is paid, nothing is transferred.
+		if err := lat.sleep(ctx, scaleDur(lat.QueryRoundTrip, d.slowFactor)); err != nil {
+			return nil, err
+		}
+		c.server.acct.addQuery()
+		return nil, d.err
 	}
 	st, ok := c.db.tables[table]
 	if !ok {
@@ -415,12 +503,24 @@ func (c *Conn) ScanColumns(table string, cols []string, opts ScanOptions) (map[s
 
 	// Latency: one round trip plus per-cell transfer (sampling pays the
 	// MySQL RAND() penalty).
-	lat := c.server.latency
 	perCell := lat.PerCell
 	if opts.Strategy == RandomSample && lat.SamplingPenalty > 0 {
 		perCell = time.Duration(float64(perCell) * lat.SamplingPenalty)
 	}
-	lat.sleep(lat.QueryRoundTrip + time.Duration(cells)*perCell)
+	transfer := time.Duration(cells) * perCell
+	if d.midScan {
+		// Pay the round trip plus the fraction of the transfer that made it
+		// through before the drop; the partial rows are discarded.
+		partial := time.Duration(float64(transfer) * d.dropAt)
+		if err := lat.sleep(ctx, scaleDur(lat.QueryRoundTrip+partial, d.slowFactor)); err != nil {
+			return nil, err
+		}
+		c.server.acct.addQuery()
+		return nil, d.err
+	}
+	if err := lat.sleep(ctx, scaleDur(lat.QueryRoundTrip+transfer, d.slowFactor)); err != nil {
+		return nil, err
+	}
 	c.server.acct.addScan(c.db.name, table, cols, m, cells, bytes)
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package simdb
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -21,19 +22,19 @@ func testServer(t *testing.T) (*Server, []*corpus.Table) {
 
 func TestConnectUnknownDatabase(t *testing.T) {
 	s := NewServer(NoLatency)
-	if _, err := s.Connect("nope"); err == nil {
+	if _, err := s.Connect(context.Background(), "nope"); err == nil {
 		t.Fatal("expected error for unknown database")
 	}
 }
 
 func TestListTablesOrder(t *testing.T) {
 	s, tables := testServer(t)
-	conn, err := s.Connect("userdb")
+	conn, err := s.Connect(context.Background(), "userdb")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	names, err := conn.ListTables()
+	names, err := conn.ListTables(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,10 +50,10 @@ func TestListTablesOrder(t *testing.T) {
 
 func TestTableMetadataMatchesSource(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
-	tm, err := conn.TableMetadata(src.Name)
+	tm, err := conn.TableMetadata(context.Background(), src.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,20 +76,20 @@ func TestTableMetadataMatchesSource(t *testing.T) {
 
 func TestTableMetadataUnknownTable(t *testing.T) {
 	s, _ := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
-	if _, err := conn.TableMetadata("ghost"); err == nil {
+	if _, err := conn.TableMetadata(context.Background(), "ghost"); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestScanFirstRows(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
 	col := src.Columns[0]
-	got, err := conn.ScanColumns(src.Name, []string{col.Name}, ScanOptions{Strategy: FirstRows, Rows: 5})
+	got, err := conn.ScanColumns(context.Background(), src.Name, []string{col.Name}, ScanOptions{Strategy: FirstRows, Rows: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +100,10 @@ func TestScanFirstRows(t *testing.T) {
 
 func TestScanAllRowsWhenMExceeds(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
-	got, err := conn.ScanColumns(src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 10000})
+	got, err := conn.ScanColumns(context.Background(), src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,16 +114,16 @@ func TestScanAllRowsWhenMExceeds(t *testing.T) {
 
 func TestScanRandomSampleDeterministicAndSubset(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
 	col := src.Columns[0]
 	opts := ScanOptions{Strategy: RandomSample, Rows: 10, Seed: 0}
-	a, err := conn.ScanColumns(src.Name, []string{col.Name}, opts)
+	a, err := conn.ScanColumns(context.Background(), src.Name, []string{col.Name}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := conn.ScanColumns(src.Name, []string{col.Name}, opts)
+	b, _ := conn.ScanColumns(context.Background(), src.Name, []string{col.Name}, opts)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("sampling with the same seed must be deterministic")
 	}
@@ -141,37 +142,37 @@ func TestScanRandomSampleDeterministicAndSubset(t *testing.T) {
 
 func TestScanUnknownColumn(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
-	if _, err := conn.ScanColumns(tables[0].Name, []string{"ghost_col"}, ScanOptions{Rows: 1}); err == nil {
+	if _, err := conn.ScanColumns(context.Background(), tables[0].Name, []string{"ghost_col"}, ScanOptions{Rows: 1}); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
 func TestClosedConnectionRejectsOps(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	if err := conn.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := conn.Close(); err == nil {
 		t.Fatal("double close should error")
 	}
-	if _, err := conn.ListTables(); err == nil {
+	if _, err := conn.ListTables(context.Background()); err == nil {
 		t.Fatal("ops on closed connection should error")
 	}
-	if _, err := conn.TableMetadata(tables[0].Name); err == nil {
+	if _, err := conn.TableMetadata(context.Background(), tables[0].Name); err == nil {
 		t.Fatal("ops on closed connection should error")
 	}
 }
 
 func TestAccountingTracksScans(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
 	cols := []string{src.Columns[0].Name, src.Columns[1].Name}
-	if _, err := conn.ScanColumns(src.Name, cols, ScanOptions{Rows: 7}); err != nil {
+	if _, err := conn.ScanColumns(context.Background(), src.Name, cols, ScanOptions{Rows: 7}); err != nil {
 		t.Fatal(err)
 	}
 	snap := s.Accounting().Snapshot()
@@ -188,7 +189,7 @@ func TestAccountingTracksScans(t *testing.T) {
 		t.Fatalf("CellsRead = %d", snap.CellsRead)
 	}
 	// Rescanning the same column doesn't grow the distinct set.
-	conn.ScanColumns(src.Name, cols[:1], ScanOptions{Rows: 3})
+	conn.ScanColumns(context.Background(), src.Name, cols[:1], ScanOptions{Rows: 3})
 	snap = s.Accounting().Snapshot()
 	if snap.DistinctColsScanned != 2 {
 		t.Fatalf("DistinctColsScanned = %d after rescan", snap.DistinctColsScanned)
@@ -201,10 +202,10 @@ func TestAccountingTracksScans(t *testing.T) {
 
 func TestMetadataQueriesDoNotCountAsScans(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
-	conn.ListTables()
-	conn.TableMetadata(tables[0].Name)
+	conn.ListTables(context.Background())
+	conn.TableMetadata(context.Background(), tables[0].Name)
 	snap := s.Accounting().Snapshot()
 	if snap.ColumnsScanned != 0 || snap.RowsScanned != 0 {
 		t.Fatalf("metadata queries must not scan: %+v", snap)
@@ -216,13 +217,13 @@ func TestMetadataQueriesDoNotCountAsScans(t *testing.T) {
 
 func TestAnalyzeTablePopulatesStats(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
-	if err := conn.AnalyzeTable(src.Name, AnalyzeOptions{Buckets: 4}); err != nil {
+	if err := conn.AnalyzeTable(context.Background(), src.Name, AnalyzeOptions{Buckets: 4}); err != nil {
 		t.Fatal(err)
 	}
-	tm, _ := conn.TableMetadata(src.Name)
+	tm, _ := conn.TableMetadata(context.Background(), src.Name)
 	for i, cm := range tm.Columns {
 		if cm.Stats == nil {
 			t.Fatalf("column %d has no stats after ANALYZE", i)
@@ -253,9 +254,9 @@ func TestAnalyzeTablePopulatesStats(t *testing.T) {
 
 func TestAnalyzeUnknownTable(t *testing.T) {
 	s, _ := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
-	if err := conn.AnalyzeTable("ghost", AnalyzeOptions{}); err == nil {
+	if err := conn.AnalyzeTable(context.Background(), "ghost", AnalyzeOptions{}); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -322,11 +323,11 @@ func TestLatencyInjectsDelay(t *testing.T) {
 	s := NewServer(lat)
 	s.LoadTables("db", ds.Test)
 	start := time.Now()
-	conn, err := s.Connect("db")
+	conn, err := s.Connect(context.Background(), "db")
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn.ListTables()
+	conn.ListTables(context.Background())
 	elapsed := time.Since(start)
 	if elapsed < 6*time.Millisecond {
 		t.Fatalf("latency not injected: %v", elapsed)
@@ -347,13 +348,13 @@ func TestPaperLatencyScales(t *testing.T) {
 
 func TestConcurrentScansSafe(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	done := make(chan error, 8)
 	for i := 0; i < 8; i++ {
 		go func(i int) {
 			tb := tables[i%len(tables)]
-			_, err := conn.ScanColumns(tb.Name, []string{tb.Columns[0].Name}, ScanOptions{Rows: 5})
+			_, err := conn.ScanColumns(context.Background(), tb.Name, []string{tb.Columns[0].Name}, ScanOptions{Rows: 5})
 			done <- err
 		}(i)
 	}
@@ -368,13 +369,13 @@ func TestConcurrentScansSafe(t *testing.T) {
 // min(m, rows) values and never panics.
 func TestRandomSampleSizeProperty(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
 	col := src.Columns[0].Name
 	f := func(m uint8, seed int64) bool {
 		rows := int(m%80) + 1
-		got, err := conn.ScanColumns(src.Name, []string{col}, ScanOptions{Strategy: RandomSample, Rows: rows, Seed: seed})
+		got, err := conn.ScanColumns(context.Background(), src.Name, []string{col}, ScanOptions{Strategy: RandomSample, Rows: rows, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -391,22 +392,22 @@ func TestRandomSampleSizeProperty(t *testing.T) {
 
 func TestInjectScanFaultOneShot(t *testing.T) {
 	s, tables := testServer(t)
-	conn, _ := s.Connect("userdb")
+	conn, _ := s.Connect(context.Background(), "userdb")
 	defer conn.Close()
 	src := tables[0]
 	wantErr := fmt.Errorf("connection reset by peer")
 	s.InjectScanFault(src.Name, wantErr)
-	if _, err := conn.ScanColumns(src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 3}); err == nil {
+	if _, err := conn.ScanColumns(context.Background(), src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 3}); err == nil {
 		t.Fatal("armed fault should fire")
 	}
 	// One-shot: the next scan succeeds.
-	if _, err := conn.ScanColumns(src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 3}); err != nil {
+	if _, err := conn.ScanColumns(context.Background(), src.Name, []string{src.Columns[0].Name}, ScanOptions{Rows: 3}); err != nil {
 		t.Fatalf("fault should be consumed: %v", err)
 	}
 	// Other tables are unaffected.
 	other := tables[1]
 	s.InjectScanFault(src.Name, wantErr)
-	if _, err := conn.ScanColumns(other.Name, []string{other.Columns[0].Name}, ScanOptions{Rows: 3}); err != nil {
+	if _, err := conn.ScanColumns(context.Background(), other.Name, []string{other.Columns[0].Name}, ScanOptions{Rows: 3}); err != nil {
 		t.Fatalf("unrelated table failed: %v", err)
 	}
 }

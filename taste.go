@@ -13,7 +13,12 @@
 //	server := taste.NewServer(taste.PaperLatency(0.01))
 //	server.LoadTables("tenant", ds.Test)
 //	det, _ := taste.NewDetector(model, taste.DefaultOptions())
-//	report, _ := det.DetectDatabase(server, "tenant", taste.PipelinedMode())
+//	report, _ := det.DetectDatabase(ctx, server, "tenant", taste.PipelinedMode())
+//
+// Every detection entry point accepts a context.Context: a deadline on the
+// context bounds the whole batch, and columns whose Phase-2 work the
+// deadline (or a flaky database) cuts off degrade to Phase-1 answers marked
+// Degraded instead of failing the request.
 //
 // See the examples/ directory for complete programs and DESIGN.md for the
 // paper-to-package map.
@@ -86,6 +91,9 @@ type (
 	LatencyProfile = simdb.LatencyProfile
 	// ScanOptions configures content scans.
 	ScanOptions = simdb.ScanOptions
+	// FaultProfile configures deterministic fault injection on a Server:
+	// transient connect/query/scan failures, mid-scan drops, slow queries.
+	FaultProfile = simdb.FaultProfile
 )
 
 // Metrics (internal/metrics).
@@ -135,6 +143,10 @@ var (
 	PaperLatency = simdb.PaperLatency
 	// NoLatency disables injected delays.
 	NoLatency = simdb.NoLatency
+
+	// IsTransient reports whether an error from a Server API is a
+	// retryable transient fault.
+	IsTransient = simdb.IsTransient
 
 	// NewF1Accumulator creates a multi-label scorer.
 	NewF1Accumulator = metrics.NewF1Accumulator

@@ -1,6 +1,7 @@
 package taste_test
 
 import (
+	"context"
 	"testing"
 
 	taste "repro"
@@ -33,7 +34,7 @@ func TestNewModelAndDetectorWiring(t *testing.T) {
 	}
 	server := taste.NewServer(taste.NoLatency)
 	server.LoadTables("db", ds.Test)
-	rep, err := det.DetectDatabase(server, "db", taste.SequentialMode)
+	rep, err := det.DetectDatabase(context.Background(), server, "db", taste.SequentialMode)
 	if err != nil {
 		t.Fatal(err)
 	}
