@@ -4,10 +4,11 @@ GO ?= go
 
 # Packages whose concurrency the race detector must vet: the tensor
 # runtime's worker pool + arena, the latent cache, the pipelined scheduler,
-# the fault-injecting simdb, and the HTTP service.
+# the fault-injecting simdb, and the HTTP service with its cross-request
+# micro-batcher.
 RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/...
 
-.PHONY: build vet test race race-all fuzz ci bench clean
+.PHONY: build vet test race race-all fuzz ci bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,11 @@ race-all:
 # Phase-2 inference, and end-to-end detection).
 bench:
 	scripts/bench.sh BENCH_1.json
+
+# bench-smoke compiles and runs every benchmark exactly once — no timing
+# value, but it keeps the benchmark code from rotting between full runs.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -34,9 +34,11 @@ func main() {
 		prepWorkers  = flag.Int("prep-workers", 0, "TP1 pool size for pipelined runs (0 = paper default of 2)")
 		inferWorkers = flag.Int("infer-workers", 0, "TP2 pool size for pipelined runs (0 = paper default of 2)")
 		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
+		fastpath     = flag.Bool("fastpath", true, "use the fused no-grad inference kernels (disable to time the composed autograd ops)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*parallelism)
+	tensor.SetFastPath(*fastpath)
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

@@ -46,6 +46,8 @@ func main() {
 		inferWorkers = flag.Int("infer-workers", autoMode.InferWorkers, "TP2 pool size for pipelined detect requests")
 		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
 		deadline     = flag.Duration("deadline", 0, "default per-request deadline for /v1/detect (0 = none; requests can override via deadline_ms)")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "how long Phase-2 inference waits to coalesce chunks from concurrent requests (0 disables micro-batching)")
+		maxBatch     = flag.Int("max-batch", 8, "max table chunks per coalesced Phase-2 model forward")
 		faultProb    = flag.Float64("fault-prob", 0, "demo tenant: probability of a transient fault per scan/query/connect (chaos mode)")
 		faultSeed    = flag.Int64("fault-seed", 1, "demo tenant: fault-injection seed")
 	)
@@ -92,6 +94,11 @@ func main() {
 	svc := service.New(det)
 	svc.SetDefaultMode(core.ExecMode{Pipelined: true, PrepWorkers: *prepWorkers, InferWorkers: *inferWorkers})
 	svc.SetDefaultDeadline(*deadline)
+	if *batchWindow > 0 {
+		svc.EnableBatching(*batchWindow, *maxBatch)
+		defer svc.Close()
+		log.Printf("micro-batching Phase-2 inference: window %s, max %d chunks", *batchWindow, *maxBatch)
+	}
 
 	demo := simdb.NewServer(simdb.PaperLatency(0.1))
 	demo.LoadTables("demo", ds.Test)

@@ -378,9 +378,12 @@ func TestLatentCacheLRU(t *testing.T) {
 	if c.Get("a") == nil || c.Get("c") == nil {
 		t.Fatal("a and c should remain")
 	}
-	hits, misses := c.Stats()
-	if hits != 3 || misses != 1 {
-		t.Fatalf("hits/misses = %d/%d", hits, misses)
+	cs := c.Stats()
+	if cs.Hits != 3 || cs.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", cs.Hits, cs.Misses)
+	}
+	if cs.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", cs.Evictions)
 	}
 	c.Delete("a")
 	if c.Len() != 1 {

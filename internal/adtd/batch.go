@@ -36,6 +36,9 @@ func (m *Model) PredictContentBatch(reqs []ContentRequest, n int) [][][]float64 
 	if len(reqs) == 0 {
 		return nil
 	}
+	if m.evalFast() && batchNoGrad(reqs) {
+		return m.predictContentBatchFast(reqs, n)
+	}
 
 	cins := make([]*ContentInput, len(reqs))
 	embeds := make([]*tensor.Tensor, len(reqs))
@@ -110,6 +113,17 @@ func (m *Model) PredictContentBatch(reqs []ContentRequest, n int) [][][]float64 
 		row += nc
 	}
 	return out
+}
+
+// batchNoGrad reports whether every request's metadata latents are frozen,
+// part of the fast-path eligibility check.
+func batchNoGrad(reqs []ContentRequest) bool {
+	for _, req := range reqs {
+		if !tensor.NoGrad(req.Menc.Layers...) {
+			return false
+		}
+	}
+	return true
 }
 
 // batchContentMask builds the additive mask for the concatenated batch:

@@ -173,8 +173,8 @@ func TestLatentCacheConcurrentHammer(t *testing.T) {
 	if cache.Len() > 8 {
 		t.Fatalf("cache overflowed capacity: %d", cache.Len())
 	}
-	hits, misses := cache.Stats()
-	if hits+misses == 0 {
+	cs := cache.Stats()
+	if cs.Hits+cs.Misses == 0 {
 		t.Fatal("hammer recorded no lookups")
 	}
 }

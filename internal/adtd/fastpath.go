@@ -1,0 +1,320 @@
+// Model-level NoGrad fast path: fused embedding gather, workspace-threaded
+// tower forwards, and fused span pooling feeding the classifier heads. Every
+// routine here is bit-exact against the composed path it replaces (the
+// per-layer kernels guarantee it — see nn/fastpath.go and tensor/fused.go;
+// the pooling and masks below reproduce the composed op order element for
+// element), so PredictMeta/PredictContent/PredictContentBatch return
+// identical bytes whether or not the fast path is selected. Enforced by
+// fastpath_test.go.
+package adtd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// invalidatePacks drops every attention layer's packed projection cache;
+// called whenever parameters may have changed in place (grad-mode flips,
+// checkpoint loads) so the next fast forward repacks fresh weights.
+func (m *Model) invalidatePacks() {
+	for _, b := range m.Blocks {
+		b.Attn.InvalidateFastPath()
+	}
+}
+
+// evalFast reports whether the model-level fused inference path may be
+// selected: the global toggle is on and the tensors the fused pooling and
+// classifier stages touch are frozen. Per-block eligibility is re-checked by
+// the nn layer (mixed freezing falls back per block).
+func (m *Model) evalFast() bool {
+	return tensor.FastPathEnabled() && tensor.NoGrad(
+		m.TokEmbed.Table, m.PosEmbed.Table, m.SegEmbed.Table,
+		m.MetaCls.Hidden.W, m.MetaCls.Hidden.B, m.MetaCls.Out.W, m.MetaCls.Out.B,
+		m.ContCls.Hidden.W, m.ContCls.Hidden.B, m.ContCls.Out.W, m.ContCls.Out.B)
+}
+
+// embedFast is embed() in one pass: token+position+segment rows summed
+// directly into an arena tensor, with no per-table gather tensors and no
+// position-id slice. segments may be nil, in which case constSeg is used for
+// every position (the content tower's constant segment 2). Each element is
+// (tok + pos) + seg, the same left-associative order as Add(Add(...)).
+func (m *Model) embedFast(ids, segments []int, constSeg int) *tensor.Tensor {
+	h := m.Cfg.Hidden
+	out := tensor.InferenceResult(len(ids), h, m.TokEmbed.Table, m.PosEmbed.Table, m.SegEmbed.Table)
+	tok := m.TokEmbed.Table.Data
+	pos := m.PosEmbed.Table.Data
+	seg := m.SegEmbed.Table.Data
+	maxPos := m.Cfg.MaxSeq - 1
+	for i, id := range ids {
+		p := i
+		if p > maxPos {
+			p = maxPos
+		}
+		s := constSeg
+		if segments != nil {
+			s = segments[i]
+		}
+		trow := tok[id*h : (id+1)*h]
+		prow := pos[p*h : (p+1)*h]
+		srow := seg[s*h : (s+1)*h]
+		drow := out.Data[i*h : (i+1)*h]
+		for j := range drow {
+			drow[j] = trow[j] + prow[j] + srow[j]
+		}
+	}
+	return out
+}
+
+// encodeMetadataWS is EncodeMetadata threading one warm workspace through
+// every block.
+func (m *Model) encodeMetadataWS(ws *tensor.Workspace, in *MetaInput) *MetaEncoding {
+	enc := &MetaEncoding{In: in}
+	x := m.embedFast(in.IDs, in.Segments, 0)
+	enc.Layers = append(enc.Layers, x)
+	for _, b := range m.Blocks {
+		x = b.ForwardWS(ws, x, x, nil)
+		enc.Layers = append(enc.Layers, x)
+	}
+	return enc
+}
+
+// metaLogitsWS assembles the per-column classifier features
+// [meanpool(span) ⊕ nonTextual] in workspace scratch and runs the metadata
+// head fused. The returned logits are arena-backed with the final latents as
+// parent, so they survive workspace release.
+func (m *Model) metaLogitsWS(ws *tensor.Workspace, enc *MetaEncoding) *tensor.Tensor {
+	h := m.Cfg.Hidden
+	final := enc.Final()
+	width := m.MetaCls.Hidden.In()
+	x := ws.Matrix(len(enc.In.ColSpans), width)
+	for i, sp := range enc.In.ColSpans {
+		row := x.Data[i*width : (i+1)*width]
+		tensor.MeanPoolRowsInto(row[:h], final.Data, h, sp[0], sp[1])
+		copy(row[h:], enc.In.NonTextual[i])
+	}
+	return m.MetaCls.ForwardWS(ws, x, final)
+}
+
+// encodeContentWS is EncodeContent threading one workspace: fused embedding,
+// workspace-assembled [metadata ⊕ content] keys/values per layer, and masks
+// living in scratch instead of the heap.
+func (m *Model) encodeContentWS(ws *tensor.Workspace, menc *MetaEncoding, in *ContentInput) *tensor.Tensor {
+	if len(menc.Layers) != m.Cfg.Layers+1 {
+		panic(fmt.Sprintf("adtd: metadata encoding has %d layers, model wants %d", len(menc.Layers)-1, m.Cfg.Layers))
+	}
+	content := m.embedFast(in.IDs, nil, 2)
+	if m.Cfg.SymmetricContent {
+		mask := batchSymmetricMaskWS(ws, []*ContentInput{in})
+		for _, b := range m.Blocks {
+			content = b.ForwardWS(ws, content, content, mask)
+		}
+		return content
+	}
+	mask := batchContentMaskWS(ws, []int{menc.In.Len()}, []*ContentInput{in})
+	parts := make([]*tensor.Tensor, 2)
+	for i, b := range m.Blocks {
+		parts[0], parts[1] = menc.Layers[i], content
+		content = b.ForwardKVConcatWS(ws, content, parts, mask)
+	}
+	return content
+}
+
+// contentLogitsWS assembles the content head's features
+// [meanpool(content span) ⊕ meanpool(metadata span) ⊕ nonTextual] in scratch
+// and runs the classifier fused. contentOff shifts the content spans, which
+// is how the batched path pools one chunk out of a concatenated batch.
+func (m *Model) contentLogitsWS(ws *tensor.Workspace, x *tensor.Tensor, rowBase int, menc *MetaEncoding, in *ContentInput, content *tensor.Tensor, contentOff int) {
+	h := m.Cfg.Hidden
+	width := x.Cols
+	final := menc.Final()
+	for slot, ci := range in.Columns {
+		row := x.Data[(rowBase+slot)*width : (rowBase+slot+1)*width]
+		sp := in.ColSpans[slot]
+		tensor.MeanPoolRowsInto(row[:h], content.Data, h, contentOff+sp[0], contentOff+sp[1])
+		msp := menc.In.ColSpans[ci]
+		tensor.MeanPoolRowsInto(row[h:2*h], final.Data, h, msp[0], msp[1])
+		copy(row[2*h:], menc.In.NonTextual[ci])
+	}
+}
+
+// predictContentBatchFast is the fused PredictContentBatch: one workspace
+// for the whole batch, scratch-resident masks and classifier features, and
+// the same release contract as the composed path (fresh metadata encodings
+// reachable from the logits' parents are recycled; cached deep copies are
+// leaves and survive).
+func (m *Model) predictContentBatchFast(reqs []ContentRequest, n int) [][][]float64 {
+	ws := tensor.AcquireWorkspace()
+	h := m.Cfg.Hidden
+
+	cins := make([]*ContentInput, len(reqs))
+	embeds := make([]*tensor.Tensor, len(reqs))
+	total := 0
+	for r, req := range reqs {
+		cin := m.enc.BuildContentInput(req.Table, req.Cols, n)
+		cins[r] = cin
+		embeds[r] = m.embedFast(cin.IDs, nil, 2)
+		total += cin.Len()
+	}
+	content := embeds[0]
+	if len(embeds) > 1 {
+		// ConcatRows without the zeroed allocation; the embeds stay parents
+		// so the final release reaches them.
+		content = tensor.InferenceResult(total, h, embeds...)
+		off := 0
+		for _, e := range embeds {
+			copy(content.Data[off:off+len(e.Data)], e.Data)
+			off += len(e.Data)
+		}
+	}
+
+	if m.Cfg.SymmetricContent {
+		mask := batchSymmetricMaskWS(ws, cins)
+		for _, b := range m.Blocks {
+			content = b.ForwardWS(ws, content, content, mask)
+		}
+	} else {
+		metaLens := make([]int, len(reqs))
+		for r, req := range reqs {
+			metaLens[r] = req.Menc.In.Len()
+		}
+		mask := batchContentMaskWS(ws, metaLens, cins)
+		parts := make([]*tensor.Tensor, len(reqs)+1)
+		for li, b := range m.Blocks {
+			for r, req := range reqs {
+				parts[r] = req.Menc.Layers[li]
+			}
+			parts[len(reqs)] = content
+			content = b.ForwardKVConcatWS(ws, content, parts, mask)
+		}
+	}
+
+	totalCols := 0
+	for _, cin := range cins {
+		totalCols += len(cin.Columns)
+	}
+	x := ws.Matrix(totalCols, m.ContCls.Hidden.In())
+	rowBase, off := 0, 0
+	for r, req := range reqs {
+		m.contentLogitsWS(ws, x, rowBase, req.Menc, cins[r], content, off)
+		rowBase += len(cins[r].Columns)
+		off += cins[r].Len()
+	}
+	parents := make([]*tensor.Tensor, 0, len(reqs)+1)
+	parents = append(parents, content)
+	for _, req := range reqs {
+		parents = append(parents, req.Menc.Final())
+	}
+	logits := m.ContCls.ForwardWS(ws, x, parents...)
+	all := Sigmoid(logits)
+	tensor.ReleaseGraph(logits)
+	tensor.ReleaseWorkspace(ws)
+
+	out := make([][][]float64, len(reqs))
+	row := 0
+	for r := range reqs {
+		nc := len(cins[r].Columns)
+		out[r] = all[row : row+nc]
+		row += nc
+	}
+	return out
+}
+
+// batchContentMaskWS is batchContentMask built in workspace scratch: every
+// element is written exactly once (allowed positions 0, everything else
+// -Inf), so the uncleared buffer needs no separate fill pass. Returns nil in
+// the same single-single-column case as the heap builder.
+func batchContentMaskWS(ws *tensor.Workspace, metaLens []int, cins []*ContentInput) *tensor.Tensor {
+	totalMeta, totalContent := 0, 0
+	for _, l := range metaLens {
+		totalMeta += l
+	}
+	for _, cin := range cins {
+		totalContent += cin.Len()
+	}
+	if len(cins) == 1 && singleColumn(cins[0]) {
+		return nil
+	}
+	mask := ws.Matrix(totalContent, totalMeta+totalContent)
+	neg := math.Inf(-1)
+	metaOff, contOff := 0, 0
+	for r, cin := range cins {
+		lc := cin.Len()
+		for i := 0; i < lc; i++ {
+			row := mask.Row(contOff + i)
+			for j := 0; j < metaOff; j++ {
+				row[j] = neg
+			}
+			for j := metaOff; j < metaOff+metaLens[r]; j++ {
+				row[j] = 0
+			}
+			for j := metaOff + metaLens[r]; j < totalMeta; j++ {
+				row[j] = neg
+			}
+			crow := row[totalMeta:]
+			for j := 0; j < contOff; j++ {
+				crow[j] = neg
+			}
+			for j := 0; j < lc; j++ {
+				if cin.ColOf[j] == cin.ColOf[i] {
+					crow[contOff+j] = 0
+				} else {
+					crow[contOff+j] = neg
+				}
+			}
+			for j := contOff + lc; j < totalContent; j++ {
+				crow[j] = neg
+			}
+		}
+		metaOff += metaLens[r]
+		contOff += lc
+	}
+	return mask
+}
+
+// batchSymmetricMaskWS is the scratch-resident batchSymmetricMask.
+func batchSymmetricMaskWS(ws *tensor.Workspace, cins []*ContentInput) *tensor.Tensor {
+	total := 0
+	for _, cin := range cins {
+		total += cin.Len()
+	}
+	if len(cins) == 1 && singleColumn(cins[0]) {
+		return nil
+	}
+	mask := ws.Matrix(total, total)
+	neg := math.Inf(-1)
+	off := 0
+	for _, cin := range cins {
+		lc := cin.Len()
+		for i := 0; i < lc; i++ {
+			row := mask.Row(off + i)
+			for j := 0; j < off; j++ {
+				row[j] = neg
+			}
+			for j := 0; j < lc; j++ {
+				if cin.ColOf[j] == cin.ColOf[i] {
+					row[off+j] = 0
+				} else {
+					row[off+j] = neg
+				}
+			}
+			for j := off + lc; j < total; j++ {
+				row[j] = neg
+			}
+		}
+		off += lc
+	}
+	return mask
+}
+
+// singleColumn reports whether every content position belongs to one column,
+// the case where no attention mask is needed.
+func singleColumn(cin *ContentInput) bool {
+	for _, c := range cin.ColOf {
+		if c != cin.ColOf[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package adtd
+
+import (
+	"testing"
+
+	"repro/internal/metafeat"
+	"repro/internal/tensor"
+)
+
+// withSlowPath runs f with the fused NoGrad kernels disabled.
+func withSlowPath(f func()) {
+	tensor.SetFastPath(false)
+	defer tensor.SetFastPath(true)
+	f()
+}
+
+// TestPredictMetaFastMatchesSlow: the whole Phase-1 forward — embedding,
+// transformer stack, pooling, classifier, sigmoid — must produce bit-equal
+// probabilities with the fused kernels on and off.
+func TestPredictMetaFastMatchesSlow(t *testing.T) {
+	m, ds := tinyModel(t)
+	for ti := 0; ti < 3 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		_, fast := m.PredictMeta(info, false)
+		var slow [][]float64
+		withSlowPath(func() { _, slow = m.PredictMeta(info, false) })
+		if len(fast) != len(slow) {
+			t.Fatalf("table %d: %d vs %d columns", ti, len(fast), len(slow))
+		}
+		for c := range fast {
+			for s := range fast[c] {
+				if fast[c][s] != slow[c][s] {
+					t.Fatalf("table %d col %d type %d: fast %v != slow %v", ti, c, s, fast[c][s], slow[c][s])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictContentBatchFastMatchesSlow: Phase 2 batched over several
+// chunks, both mask regimes. Encodings are rebuilt per run because the batch
+// call consumes fresh ones.
+func TestPredictContentBatchFastMatchesSlow(t *testing.T) {
+	for _, symmetric := range []bool{false, true} {
+		m, ds := tinyModel(t)
+		m.Cfg.SymmetricContent = symmetric
+		const cells = 3
+		run := func() [][][]float64 {
+			var reqs []ContentRequest
+			for ti := 0; ti < 3 && ti < len(ds.Test); ti++ {
+				info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+				cols := []int{0}
+				if len(info.Columns) > 1 {
+					cols = append(cols, len(info.Columns)-1)
+				}
+				menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+				reqs = append(reqs, ContentRequest{Menc: menc, Table: info, Cols: cols})
+			}
+			return m.PredictContentBatch(reqs, cells)
+		}
+		fast := run()
+		var slow [][][]float64
+		withSlowPath(func() { slow = run() })
+		for r := range fast {
+			for c := range fast[r] {
+				for s := range fast[r][c] {
+					if fast[r][c][s] != slow[r][c][s] {
+						t.Fatalf("symmetric=%v req %d col %d type %d: fast %v != slow %v",
+							symmetric, r, c, s, fast[r][c][s], slow[r][c][s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathInvalidatedOnWeightChange: mutating weights (training mode or
+// a checkpoint load) must drop the packed QKV weights so the fast path never
+// serves stale parameters.
+func TestFastPathInvalidatedOnWeightChange(t *testing.T) {
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	_, before := m.PredictMeta(info, false) // populates the packs
+	m.Blocks[0].Attn.WQ.W.Data[0] += 0.5
+	m.SetEval() // re-freezing invalidates the packs
+	_, after := m.PredictMeta(info, false)
+	same := true
+	for c := range before {
+		for s := range before[c] {
+			if before[c][s] != after[c][s] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("weight mutation did not change predictions: stale packed weights served")
+	}
+}
+
+// TestPredictContentBatchAllocCeiling pins the steady-state allocation count
+// of the batched Phase-2 serving path: workspaces and the arena must absorb
+// all large buffers, leaving only per-call bookkeeping.
+func TestPredictContentBatchAllocCeiling(t *testing.T) {
+	m, ds := tinyModel(t)
+	const cells = 3
+	var reqs []ContentRequest
+	for ti := 0; ti < 2 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		cols := []int{0}
+		if len(info.Columns) > 1 {
+			cols = append(cols, 1)
+		}
+		menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+		// Detached copies survive the batch calls, like cached encodings do.
+		reqs = append(reqs, ContentRequest{Menc: menc.CloneDetach(), Table: info, Cols: cols})
+		menc.Release()
+	}
+	m.PredictContentBatch(reqs, cells) // warm pools
+	const ceiling = 400
+	if got := testing.AllocsPerRun(10, func() { m.PredictContentBatch(reqs, cells) }); got > ceiling {
+		t.Fatalf("PredictContentBatch: %.0f allocs/op, ceiling %d", got, ceiling)
+	}
+}

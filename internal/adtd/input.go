@@ -40,38 +40,36 @@ func (in *MetaInput) Len() int { return len(in.IDs) }
 // statistics/histogram block of the non-textual features.
 func (e *Encoder) BuildMetaInput(t *metafeat.TableInfo, includeStats bool) *MetaInput {
 	in := &MetaInput{}
-	push := func(id, seg int) {
-		in.IDs = append(in.IDs, id)
-		in.Segments = append(in.Segments, seg)
-	}
+	sep := e.Tok.MustID(tokenizer.SEP)
 
-	// Table-level metadata.
-	tableIDs := []int{e.Tok.MustID(tokenizer.TAB)}
-	tableIDs = append(tableIDs, e.Tok.Encode(t.Name)...)
+	// Table-level metadata, appended in place and truncated by re-slicing
+	// (same ids as building a separate slice, without the intermediates).
+	in.IDs = append(in.IDs, e.Tok.MustID(tokenizer.TAB))
+	in.IDs = e.Tok.EncodeAppend(in.IDs, t.Name)
 	if t.Comment != "" {
-		tableIDs = append(tableIDs, e.Tok.MustID(tokenizer.SEP))
-		tableIDs = append(tableIDs, e.Tok.Encode(t.Comment)...)
+		in.IDs = append(in.IDs, sep)
+		in.IDs = e.Tok.EncodeAppend(in.IDs, t.Comment)
 	}
-	tableIDs = truncate(tableIDs, e.Cfg.TableTokens)
-	for _, id := range tableIDs {
-		push(id, 0)
+	in.IDs = truncate(in.IDs, e.Cfg.TableTokens)
+	for range in.IDs {
+		in.Segments = append(in.Segments, 0)
 	}
 
 	// Per-column metadata.
 	for _, c := range t.Columns {
-		colIDs := []int{e.Tok.MustID(tokenizer.COL)}
-		colIDs = append(colIDs, e.Tok.Encode(c.Name)...)
-		if c.Comment != "" {
-			colIDs = append(colIDs, e.Tok.MustID(tokenizer.SEP))
-			colIDs = append(colIDs, e.Tok.Encode(c.Comment)...)
-		}
-		colIDs = append(colIDs, e.Tok.MustID(tokenizer.SEP))
-		colIDs = append(colIDs, e.Tok.Encode(strings.ToLower(c.DataType))...)
-		colIDs = truncate(colIDs, e.Cfg.ColTokens)
 		start := len(in.IDs)
 		in.ColAnchors = append(in.ColAnchors, start)
-		for _, id := range colIDs {
-			push(id, 1)
+		in.IDs = append(in.IDs, e.Tok.MustID(tokenizer.COL))
+		in.IDs = e.Tok.EncodeAppend(in.IDs, c.Name)
+		if c.Comment != "" {
+			in.IDs = append(in.IDs, sep)
+			in.IDs = e.Tok.EncodeAppend(in.IDs, c.Comment)
+		}
+		in.IDs = append(in.IDs, sep)
+		in.IDs = e.Tok.EncodeAppend(in.IDs, strings.ToLower(c.DataType))
+		in.IDs = truncate(in.IDs, start+e.Cfg.ColTokens)
+		for len(in.Segments) < len(in.IDs) {
+			in.Segments = append(in.Segments, 1)
 		}
 		in.ColSpans = append(in.ColSpans, [2]int{start, len(in.IDs)})
 		in.NonTextual = append(in.NonTextual, metafeat.NonTextual(c, t.RowCount, includeStats))
@@ -123,11 +121,12 @@ func (e *Encoder) BuildContentInput(t *metafeat.TableInfo, cols []int, n int) *C
 				continue // §6.1.2: skip empty cells, they contribute nothing
 			}
 			used++
-			cell := []int{e.Tok.MustID(tokenizer.CLS), e.Tok.ID(LengthBucketToken(len(v)))}
-			cell = append(cell, e.Tok.Encode(v)...)
-			cell = truncate(cell, e.Cfg.CellTokens+2) // +2: the [CLS] and length tokens
-			for _, id := range cell {
-				in.IDs = append(in.IDs, id)
+			mark := len(in.IDs)
+			in.IDs = append(in.IDs, e.Tok.MustID(tokenizer.CLS), e.Tok.ID(LengthBucketToken(len(v))))
+			in.IDs = e.Tok.EncodeAppend(in.IDs, v)
+			// +2: the [CLS] and length tokens.
+			in.IDs = truncate(in.IDs, mark+e.Cfg.CellTokens+2)
+			for len(in.ColOf) < len(in.IDs) {
 				in.ColOf = append(in.ColOf, slot)
 			}
 		}
@@ -146,18 +145,23 @@ func LengthBucketToken(n int) string {
 	if bucket > 24 {
 		bucket = 24
 	}
-	bucket -= bucket % 2
-	return fmt.Sprintf("len%d", bucket)
+	return lengthBuckets[bucket/2]
 }
 
-// LengthBucketTokens enumerates every length-bucket token, for vocabulary
-// construction.
-func LengthBucketTokens() []string {
+// lengthBuckets precomputes every bucket token so the per-cell hot path
+// never formats strings.
+var lengthBuckets = func() []string {
 	var out []string
 	for n := 0; n <= 24; n += 2 {
 		out = append(out, fmt.Sprintf("len%d", n))
 	}
 	return out
+}()
+
+// LengthBucketTokens enumerates every length-bucket token, for vocabulary
+// construction.
+func LengthBucketTokens() []string {
+	return append([]string(nil), lengthBuckets...)
 }
 
 func truncate(ids []int, max int) []int {

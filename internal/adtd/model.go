@@ -110,13 +110,21 @@ func (m *Model) setGrad(v bool) {
 	for _, p := range m.Params() {
 		p.SetRequiresGrad(v)
 	}
+	// Weights may have been stepped since the fast path last packed them.
+	m.invalidatePacks()
 }
 
 // Save serializes all parameters.
 func (m *Model) Save(w io.Writer) error { return tensor.WriteTensors(w, m.Params()) }
 
 // Load restores all parameters from a checkpoint written by Save.
-func (m *Model) Load(r io.Reader) error { return tensor.ReadTensors(r, m.Params()) }
+func (m *Model) Load(r io.Reader) error {
+	if err := tensor.ReadTensors(r, m.Params()); err != nil {
+		return err
+	}
+	m.invalidatePacks()
+	return nil
+}
 
 // embed builds token+position+segment embeddings for a sequence.
 func (m *Model) embed(ids, segments []int) *tensor.Tensor {
@@ -181,6 +189,12 @@ func (e *MetaEncoding) Release() {
 // self-attention over the metadata sequence, returning every layer's
 // latents so P2 can reuse them.
 func (m *Model) EncodeMetadata(in *MetaInput) *MetaEncoding {
+	if m.evalFast() {
+		ws := tensor.AcquireWorkspace()
+		enc := m.encodeMetadataWS(ws, in)
+		tensor.ReleaseWorkspace(ws)
+		return enc
+	}
 	enc := &MetaEncoding{In: in}
 	x := m.embed(in.IDs, in.Segments)
 	enc.Layers = append(enc.Layers, x)
@@ -195,6 +209,12 @@ func (m *Model) EncodeMetadata(in *MetaInput) *MetaEncoding {
 // an encoded chunk: Classify_meta(Encode_L^{Mᶜₜ} ⊕ Mᶜₙ). The column's
 // latent representation is the mean over its metadata token span.
 func (m *Model) MetaLogits(enc *MetaEncoding) *tensor.Tensor {
+	if m.evalFast() && !enc.Final().RequiresGrad() {
+		ws := tensor.AcquireWorkspace()
+		out := m.metaLogitsWS(ws, enc)
+		tensor.ReleaseWorkspace(ws)
+		return out
+	}
 	pooled := poolSpans(enc.Final(), enc.In.ColSpans)
 	return m.MetaCls.Forward(tensor.ConcatCols(pooled, tensor.FromRows(enc.In.NonTextual)))
 }
@@ -216,6 +236,12 @@ func poolSpans(x *tensor.Tensor, spans [][2]int) *tensor.Tensor {
 func (m *Model) EncodeContent(menc *MetaEncoding, in *ContentInput) *tensor.Tensor {
 	if len(menc.Layers) != m.Cfg.Layers+1 {
 		panic(fmt.Sprintf("adtd: metadata encoding has %d layers, model wants %d", len(menc.Layers)-1, m.Cfg.Layers))
+	}
+	if m.evalFast() && tensor.NoGrad(menc.Layers...) {
+		ws := tensor.AcquireWorkspace()
+		out := m.encodeContentWS(ws, menc, in)
+		tensor.ReleaseWorkspace(ws)
+		return out
 	}
 	segs := make([]int, len(in.IDs))
 	for i := range segs {
@@ -296,6 +322,14 @@ func (m *Model) contentMask(lm int, in *ContentInput) *tensor.Tensor {
 // ContentLogits applies the content classifier f₂ (§4.3) to the selected
 // columns: Classify_cont(Encode_L^{Dᶜ} ⊕ Encode_L^{Mᶜₜ} ⊕ Mᶜₙ).
 func (m *Model) ContentLogits(menc *MetaEncoding, in *ContentInput, content *tensor.Tensor) *tensor.Tensor {
+	if m.evalFast() && tensor.NoGrad(content, menc.Final()) {
+		ws := tensor.AcquireWorkspace()
+		x := ws.Matrix(len(in.Columns), m.ContCls.Hidden.In())
+		m.contentLogitsWS(ws, x, 0, menc, in, content, 0)
+		out := m.ContCls.ForwardWS(ws, x, content, menc.Final())
+		tensor.ReleaseWorkspace(ws)
+		return out
+	}
 	contentPooled := poolSpans(content, in.ColSpans)
 	metaSpans := make([][2]int, len(in.Columns))
 	nonTextual := make([][]float64, len(in.Columns))
@@ -325,6 +359,15 @@ func Sigmoid(logits *tensor.Tensor) [][]float64 {
 // encoding (for caching) plus per-column type probabilities p_{c,s}.
 func (m *Model) PredictMeta(t *metafeat.TableInfo, includeStats bool) (*MetaEncoding, [][]float64) {
 	in := m.enc.BuildMetaInput(t, includeStats)
+	if m.evalFast() {
+		// One warm workspace threads through the whole phase: encoder blocks,
+		// span pooling and the classifier head.
+		ws := tensor.AcquireWorkspace()
+		menc := m.encodeMetadataWS(ws, in)
+		probs := Sigmoid(m.metaLogitsWS(ws, menc))
+		tensor.ReleaseWorkspace(ws)
+		return menc, probs
+	}
 	menc := m.EncodeMetadata(in)
 	return menc, Sigmoid(m.MetaLogits(menc))
 }
@@ -334,6 +377,15 @@ func (m *Model) PredictMeta(t *metafeat.TableInfo, includeStats bool) (*MetaEnco
 // their type probabilities.
 func (m *Model) PredictContent(menc *MetaEncoding, t *metafeat.TableInfo, cols []int, n int) [][]float64 {
 	in := m.enc.BuildContentInput(t, cols, n)
+	if m.evalFast() && tensor.NoGrad(menc.Layers...) {
+		ws := tensor.AcquireWorkspace()
+		content := m.encodeContentWS(ws, menc, in)
+		x := ws.Matrix(len(in.Columns), m.ContCls.Hidden.In())
+		m.contentLogitsWS(ws, x, 0, menc, in, content, 0)
+		probs := Sigmoid(m.ContCls.ForwardWS(ws, x, content, menc.Final()))
+		tensor.ReleaseWorkspace(ws)
+		return probs
+	}
 	content := m.EncodeContent(menc, in)
 	return Sigmoid(m.ContentLogits(menc, in, content))
 }

@@ -141,6 +141,17 @@ type FaultStats struct {
 	FailureDegraded int
 }
 
+// ContentInferencer abstracts how Phase-2 content batches are classified.
+// The default is a direct PredictContentBatch on the detector's model; a
+// service-level micro-batcher can be plugged in with SetContentInferencer to
+// coalesce batches across concurrent requests. Implementations must return
+// results indexed like reqs, and should return ctx's error when the request
+// dies while queued or in flight — the detector maps deadline errors to
+// graceful degradation, not failures.
+type ContentInferencer interface {
+	InferContentBatch(ctx context.Context, reqs []adtd.ContentRequest, n int) ([][][]float64, error)
+}
+
 // Detector is the Taste detection service: a trained ADTD model plus the
 // framework configuration. It is safe for concurrent use once the model is
 // in eval mode.
@@ -150,6 +161,9 @@ type Detector struct {
 
 	cache *adtd.LatentCache
 	rules *ruledet.Detector
+
+	infMu      sync.RWMutex
+	contentInf ContentInferencer
 
 	mu       sync.Mutex
 	feedback []adtd.FeedbackExample
@@ -177,6 +191,21 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 
 // Cache exposes the latent cache (for stats and tests).
 func (d *Detector) Cache() *adtd.LatentCache { return d.cache }
+
+// SetContentInferencer routes Phase-2 content inference through ci; nil
+// restores the direct model call. Safe to call concurrently with detection,
+// though it is normally set once at service startup.
+func (d *Detector) SetContentInferencer(ci ContentInferencer) {
+	d.infMu.Lock()
+	d.contentInf = ci
+	d.infMu.Unlock()
+}
+
+func (d *Detector) contentInferencer() ContentInferencer {
+	d.infMu.RLock()
+	defer d.infMu.RUnlock()
+	return d.contentInf
+}
 
 // FaultStats returns a snapshot of the fault-tolerance ledger.
 func (d *Detector) FaultStats() FaultStats {
@@ -669,7 +698,30 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 	if len(reqs) == 0 {
 		return nil
 	}
-	batch := j.d.Model.PredictContentBatch(reqs, opts.CellsPerColumn)
+	var batch [][][]float64
+	if ci := j.d.contentInferencer(); ci != nil {
+		var err error
+		batch, err = ci.InferContentBatch(ctx, reqs, opts.CellsPerColumn)
+		if err != nil {
+			if opts.DisableDegradation {
+				return err
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+				return ctxErr // user cancellation: abort, nothing to salvage
+			}
+			// Deadline expired while queued or in flight, or the inferencer
+			// failed outright: the columns keep their Phase-1 answer,
+			// sharpened by the rules over the already-fetched content.
+			if errors.Is(err, context.DeadlineExceeded) {
+				j.degradeWithRules(pending, "deadline exceeded in content inference", true)
+			} else {
+				j.degradeWithRules(pending, "content inference failed: "+err.Error(), false)
+			}
+			return nil
+		}
+	} else {
+		batch = j.d.Model.PredictContentBatch(reqs, opts.CellsPerColumn)
+	}
 	for r, globals := range globalsPerReq {
 		for slot, g := range globals {
 			cr := &j.res.Columns[g]
@@ -771,7 +823,7 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 		return nil, err
 	}
 
-	hits0, misses0 := d.cache.Stats()
+	cs0 := d.cache.Stats()
 	jobs := make([]*pipeline.Job, len(tables))
 	tjobs := make([]*tableJob, len(tables))
 	for i, t := range tables {
@@ -816,9 +868,9 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 			}
 		}
 	}
-	hits1, misses1 := d.cache.Stats()
-	rep.CacheHits = hits1 - hits0
-	rep.CacheMisses = misses1 - misses0
+	cs1 := d.cache.Stats()
+	rep.CacheHits = cs1.Hits - cs0.Hits
+	rep.CacheMisses = cs1.Misses - cs0.Misses
 	return rep, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -18,6 +19,11 @@ type MultiHeadAttention struct {
 	Heads  int
 
 	WQ, WK, WV, WO *Linear
+
+	// packed caches the fused [WQ|WK|WV] projection for the NoGrad fast
+	// path (fastpath.go); nil until first fast forward, dropped by
+	// InvalidateFastPath when the weights change.
+	packed atomic.Pointer[qkvPack]
 }
 
 // NewMultiHeadAttention creates an attention layer with hidden size divisible
@@ -42,6 +48,13 @@ func NewMultiHeadAttention(hidden, heads int, rng *rand.Rand) *MultiHeadAttentio
 func (a *MultiHeadAttention) Forward(q, kv *tensor.Tensor, mask *tensor.Tensor) *tensor.Tensor {
 	if q.Cols != a.Hidden || kv.Cols != a.Hidden {
 		panic(fmt.Sprintf("nn: attention input width %d/%d, want %d", q.Cols, kv.Cols, a.Hidden))
+	}
+	if a.fastEligible(q, kv, mask) {
+		ws := tensor.AcquireWorkspace()
+		out := tensor.InferenceResult(q.Rows, a.Hidden, q, kv)
+		a.forwardFastInto(ws, out.Data, q.Data, q.Rows, kv.Data, kv.Rows, mask)
+		tensor.ReleaseWorkspace(ws)
+		return out
 	}
 	qp := a.WQ.Forward(q)
 	kp := a.WK.Forward(kv)
@@ -122,6 +135,12 @@ func NewTransformerBlock(hidden, heads, intermediate int, rng *rand.Rand) *Trans
 // self-attention. The residual connection is taken from q, so output shape is
 // Lq × H.
 func (b *TransformerBlock) Forward(q, kv *tensor.Tensor, mask *tensor.Tensor) *tensor.Tensor {
+	if b.fastEligible(q, kv, mask) {
+		ws := tensor.AcquireWorkspace()
+		out := b.forwardFastWS(ws, q, kv.Data, kv.Rows, mask, []*tensor.Tensor{q, kv})
+		tensor.ReleaseWorkspace(ws)
+		return out
+	}
 	attnOut := b.Attn.Forward(q, kv, mask)
 	x := b.LN1.Forward(tensor.Add(q, attnOut))
 	ff := b.FF2.Forward(tensor.GELU(b.FF1.Forward(x)))
@@ -156,6 +175,12 @@ func NewMLPClassifier(in, hidden, classes int, rng *rand.Rand) *MLPClassifier {
 
 // Forward returns raw logits (rows × classes).
 func (c *MLPClassifier) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if tensor.FastPathEnabled() && tensor.NoGrad(x, c.Hidden.W, c.Hidden.B, c.Out.W, c.Out.B) {
+		ws := tensor.AcquireWorkspace()
+		out := c.ForwardWS(ws, x)
+		tensor.ReleaseWorkspace(ws)
+		return out
+	}
 	return c.Out.Forward(tensor.ReLU(c.Hidden.Forward(x)))
 }
 

@@ -7,9 +7,19 @@ import (
 	"repro/internal/tensor"
 )
 
+// evalMode freezes a module's parameters, the serve-time configuration
+// (Model.SetEval) under which the NoGrad fast path is selected; the
+// inference benchmarks below measure that path.
+func evalMode(m Module) {
+	for _, p := range m.Params() {
+		p.SetRequiresGrad(false)
+	}
+}
+
 func BenchmarkSelfAttention128(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := NewMultiHeadAttention(64, 4, rng)
+	evalMode(a)
 	x := tensor.New(128, 64)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
@@ -25,6 +35,7 @@ func BenchmarkCrossAttention(b *testing.B) {
 	// Content-tower shape: 64 queries over 192 keys/values.
 	rng := rand.New(rand.NewSource(1))
 	a := NewMultiHeadAttention(64, 4, rng)
+	evalMode(a)
 	q := tensor.New(64, 64)
 	kv := tensor.New(192, 64)
 	for i := range q.Data {
@@ -42,6 +53,7 @@ func BenchmarkCrossAttention(b *testing.B) {
 func BenchmarkTransformerBlock(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	blk := NewTransformerBlock(64, 4, 128, rng)
+	evalMode(blk)
 	x := tensor.New(128, 64)
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
@@ -55,6 +67,7 @@ func BenchmarkTransformerBlock(b *testing.B) {
 func BenchmarkMLPClassifier(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	c := NewMLPClassifier(64+22, 64, 62, rng)
+	evalMode(c)
 	x := tensor.New(20, 64+22)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// bothPaths runs f with the fused NoGrad kernels enabled and disabled and
+// compares the outputs element-for-element with == : the fast path promises
+// bit-exactness, not mere closeness, so serving results cannot drift when
+// the kernel selection changes.
+func bothPaths(t *testing.T, name string, f func() *tensor.Tensor) {
+	t.Helper()
+	tensor.SetFastPath(true)
+	fast := f()
+	tensor.SetFastPath(false)
+	slow := f()
+	tensor.SetFastPath(true)
+	if fast.Rows != slow.Rows || fast.Cols != slow.Cols {
+		t.Fatalf("%s: fast %dx%d vs slow %dx%d", name, fast.Rows, fast.Cols, slow.Rows, slow.Cols)
+	}
+	for i := range fast.Data {
+		if fast.Data[i] != slow.Data[i] {
+			t.Fatalf("%s: element %d: fast %v != slow %v (Δ %g)",
+				name, i, fast.Data[i], slow.Data[i], fast.Data[i]-slow.Data[i])
+		}
+	}
+}
+
+func randFilled(rng *rand.Rand, rows, cols int) *tensor.Tensor {
+	x := tensor.New(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// randMask builds an additive attention mask with random -Inf entries but
+// always at least one visible key per query row (a query that can attend to
+// nothing never occurs in the model's masks: content positions always see
+// their own column).
+func randMask(rng *rand.Rand, lq, lkv int) *tensor.Tensor {
+	m := tensor.New(lq, lkv)
+	neg := math.Inf(-1)
+	for i := 0; i < lq; i++ {
+		keep := rng.Intn(lkv)
+		for j := 0; j < lkv; j++ {
+			if j != keep && rng.Float64() < 0.4 {
+				m.Set(i, j, neg)
+			}
+		}
+	}
+	return m
+}
+
+// TestAttentionFastPathBitExact covers self- and cross-attention, masked and
+// unmasked, at the repro head width (16, the specialized score kernel) and
+// an odd width (the generic kernel).
+func TestAttentionFastPathBitExact(t *testing.T) {
+	cases := []struct {
+		name   string
+		hidden int
+		heads  int
+		lq     int
+		lkv    int
+		cross  bool
+		masked bool
+	}{
+		{"self-headdim16", 64, 4, 128, 128, false, false},
+		{"self-headdim16-masked", 64, 4, 37, 37, false, true},
+		{"cross-headdim16", 64, 4, 9, 33, true, false},
+		{"cross-headdim16-masked", 64, 4, 9, 33, true, true},
+		{"self-headdim12", 48, 4, 21, 21, false, false},
+		{"cross-headdim12-masked", 48, 4, 13, 29, true, true},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(11))
+		a := NewMultiHeadAttention(tc.hidden, tc.heads, rng)
+		evalMode(a)
+		q := randFilled(rng, tc.lq, tc.hidden)
+		kv := q
+		if tc.cross {
+			kv = randFilled(rng, tc.lkv, tc.hidden)
+		}
+		var mask *tensor.Tensor
+		if tc.masked {
+			mask = randMask(rng, tc.lq, tc.lkv)
+		}
+		bothPaths(t, tc.name, func() *tensor.Tensor { return a.Forward(q, kv, mask) })
+	}
+}
+
+func TestTransformerBlockFastPathBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	blk := NewTransformerBlock(64, 4, 128, rng)
+	evalMode(blk)
+	x := randFilled(rng, 48, 64)
+	kv := randFilled(rng, 80, 64)
+	bothPaths(t, "self", func() *tensor.Tensor { return blk.SelfForward(x, nil) })
+	bothPaths(t, "self-masked", func() *tensor.Tensor { return blk.SelfForward(x, randMask(rand.New(rand.NewSource(13)), 48, 48)) })
+	bothPaths(t, "cross", func() *tensor.Tensor { return blk.Forward(x, kv, nil) })
+}
+
+func TestLayerNormFastPathBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ln := NewLayerNorm(64)
+	evalMode(ln)
+	// Non-trivial gain/shift so the affine part is exercised too.
+	for i := range ln.Gamma.Data {
+		ln.Gamma.Data[i] = 1 + 0.1*rng.NormFloat64()
+		ln.Beta.Data[i] = 0.1 * rng.NormFloat64()
+	}
+	x := randFilled(rng, 33, 64)
+	bothPaths(t, "layernorm", func() *tensor.Tensor { return ln.Forward(x) })
+}
+
+func TestLinearAndClassifierFastPathBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	l := NewLinear(70, 40, rng)
+	evalMode(l)
+	x := randFilled(rng, 17, 70)
+	bothPaths(t, "linear", func() *tensor.Tensor { return l.Forward(x) })
+
+	c := NewMLPClassifier(86, 64, 62, rng)
+	evalMode(c)
+	cx := randFilled(rng, 20, 86)
+	bothPaths(t, "classifier", func() *tensor.Tensor { return c.Forward(cx) })
+}
+
+// TestFastPathSkippedUnderGrad: an input that requires grad must never take
+// the fused path — training still records the autograd graph.
+func TestFastPathSkippedUnderGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := NewMultiHeadAttention(64, 4, rng)
+	evalMode(a)
+	x := randFilled(rng, 8, 64)
+	x.SetRequiresGrad(true)
+	out := a.Forward(x, x, nil)
+	if !out.RequiresGrad() {
+		t.Fatal("grad-requiring input produced a detached output: fast path taken during training")
+	}
+}
+
+// Allocation ceilings for the NoGrad serving path. The fused kernels write
+// into pooled workspaces, so steady-state inference must stay within a
+// handful of allocations per forward regardless of sequence length.
+func TestNoGradAttentionAllocCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := NewMultiHeadAttention(64, 4, rng)
+	evalMode(a)
+	x := randFilled(rng, 128, 64)
+	a.Forward(x, x, nil) // warm the workspace and arena pools
+	const ceiling = 16
+	if got := testing.AllocsPerRun(20, func() { a.Forward(x, x, nil) }); got > ceiling {
+		t.Fatalf("NoGrad attention: %.0f allocs/op, ceiling %d", got, ceiling)
+	}
+}
+
+func TestNoGradLayerNormAllocCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	ln := NewLayerNorm(64)
+	evalMode(ln)
+	x := randFilled(rng, 128, 64)
+	ln.Forward(x)
+	const ceiling = 8
+	if got := testing.AllocsPerRun(20, func() { ln.Forward(x) }); got > ceiling {
+		t.Fatalf("NoGrad layer-norm: %.0f allocs/op, ceiling %d", got, ceiling)
+	}
+}

@@ -53,8 +53,15 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	return l
 }
 
-// Forward applies the affine transform to x (rows × in).
+// Forward applies the affine transform to x (rows × in). When neither x
+// nor the parameters require grad (and the fast path is enabled) the
+// matmul and bias add run fused into one arena tensor.
 func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if tensor.FastPathEnabled() && tensor.NoGrad(x, l.W, l.B) {
+		out := tensor.InferenceResult(x.Rows, l.Out(), x)
+		tensor.LinearInto(out.Data, x.Data, x.Rows, l.In(), l.W.Data, l.Out(), 0, l.Out(), l.B.Data)
+		return out
+	}
 	return tensor.AddRowVector(tensor.MatMul(x, l.W), l.B)
 }
 
@@ -81,8 +88,13 @@ func NewLayerNorm(dim int) *LayerNorm {
 	return ln
 }
 
-// Forward normalizes each row of x.
+// Forward normalizes each row of x, fused on the NoGrad fast path.
 func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if tensor.FastPathEnabled() && tensor.NoGrad(x, ln.Gamma, ln.Beta) {
+		out := tensor.InferenceResult(x.Rows, x.Cols, x)
+		tensor.FusedAddLayerNormInto(out.Data, x.Data, nil, ln.Gamma.Data, ln.Beta.Data, x.Rows, x.Cols, ln.Eps)
+		return out
+	}
 	return tensor.LayerNorm(x, ln.Gamma, ln.Beta, ln.Eps)
 }
 

@@ -1,0 +1,289 @@
+// Cross-request micro-batching for Phase-2 content inference. Concurrent
+// /v1/detect requests each produce small PredictContentBatch calls (one per
+// table); the Batcher coalesces calls that arrive within a short window into
+// one larger model batch, amortizing kernel dispatch and classifier overhead
+// across requests, then demultiplexes the per-chunk results back to their
+// submitters. Batching changes throughput only — each chunk's rows are
+// bit-identical to an unbatched call because the model's block-diagonal
+// batch mask isolates every chunk (see adtd.PredictContentBatch).
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/adtd"
+	"repro/internal/core"
+)
+
+// batcherDeadlineMargin is subtracted from a submission's context deadline
+// when deciding how long it may sit in the queue: a flush is forced early
+// rather than letting the window expire a waiter.
+const batcherDeadlineMargin = 5 * time.Millisecond
+
+// BatcherStats counts the micro-batcher's activity. All counters are
+// cumulative since the batcher started.
+type BatcherStats struct {
+	// Submissions counts InferContentBatch calls routed to the batcher.
+	Submissions int
+	// Batches counts model forwards; fewer batches than submissions means
+	// coalescing happened.
+	Batches int
+	// CoalescedBatches counts model forwards that merged ≥ 2 submissions.
+	CoalescedBatches int
+	// BatchedChunks counts table chunks classified through the batcher.
+	BatchedChunks int
+	// MaxBatchChunks is the largest chunk count in one model forward.
+	MaxBatchChunks int
+	// QueueDelay is the summed time submissions spent queued before their
+	// flush started; QueueDelay/Submissions is the mean added latency.
+	QueueDelay time.Duration
+	// DeadlineDropped counts submissions whose context died while queued;
+	// they were answered with the context error (the detector degrades
+	// them) and never reached the model.
+	DeadlineDropped int
+}
+
+// batchCall is one queued InferContentBatch submission.
+type batchCall struct {
+	ctx      context.Context
+	reqs     []adtd.ContentRequest
+	n        int
+	enqueued time.Time
+	out      chan batchResult // buffered; flush never blocks on it
+}
+
+type batchResult struct {
+	probs [][][]float64
+	err   error
+}
+
+// Batcher implements core.ContentInferencer by coalescing submissions from
+// concurrent requests. Create with NewBatcher, plug in with
+// Detector.SetContentInferencer, and Stop when shutting down.
+type Batcher struct {
+	model    *adtd.Model
+	window   time.Duration
+	maxBatch int // flush early once this many chunks are queued
+
+	mu      sync.Mutex
+	pending []*batchCall
+	stats   BatcherStats
+	stopped bool
+
+	wake chan struct{} // signals the collector that pending changed
+	quit chan struct{}
+	done chan struct{}
+}
+
+// NewBatcher creates and starts a micro-batcher over the model. window is
+// how long the first submission of a batch may wait for company; maxBatch
+// caps the chunks per model forward (≤ 1 disables coalescing in all but
+// name). The batcher runs until Stop.
+func NewBatcher(model *adtd.Model, window time.Duration, maxBatch int) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &Batcher{
+		model:    model,
+		window:   window,
+		maxBatch: maxBatch,
+		wake:     make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Stop shuts the collector down after flushing anything still queued.
+// Submissions after Stop run unbatched.
+func (b *Batcher) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.quit)
+	<-b.done
+}
+
+// Stats returns a snapshot of the batching counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// InferContentBatch implements core.ContentInferencer: enqueue, wait for the
+// coalesced flush, return this submission's slice of the results. If ctx
+// dies while queued or in flight the context error is returned immediately —
+// the detector's degradation ladder turns that into a 200-degraded answer,
+// never a 500.
+func (b *Batcher) InferContentBatch(ctx context.Context, reqs []adtd.ContentRequest, n int) ([][][]float64, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	b.mu.Lock()
+	if b.stopped || b.window <= 0 {
+		b.mu.Unlock()
+		return b.model.PredictContentBatch(reqs, n), nil
+	}
+	call := &batchCall{ctx: ctx, reqs: reqs, n: n, enqueued: time.Now(), out: make(chan batchResult, 1)}
+	b.pending = append(b.pending, call)
+	b.stats.Submissions++
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case res := <-call.out:
+		return res.probs, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// collect is the single collector goroutine: it watches the queue and
+// decides when to flush — window expiry since the oldest submission, the
+// chunk cap reached, an imminent submitter deadline, or shutdown.
+func (b *Batcher) collect() {
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		b.mu.Lock()
+		var oldest time.Time
+		chunks := 0
+		var nearest time.Time
+		for _, c := range b.pending {
+			if oldest.IsZero() || c.enqueued.Before(oldest) {
+				oldest = c.enqueued
+			}
+			chunks += len(c.reqs)
+			if dl, ok := c.ctx.Deadline(); ok && (nearest.IsZero() || dl.Before(nearest)) {
+				nearest = dl
+			}
+		}
+		empty := len(b.pending) == 0
+		b.mu.Unlock()
+
+		if !empty && chunks >= b.maxBatch {
+			b.flush()
+			continue
+		}
+		if !empty {
+			flushAt := oldest.Add(b.window)
+			if !nearest.IsZero() {
+				if early := nearest.Add(-batcherDeadlineMargin); early.Before(flushAt) {
+					flushAt = early
+				}
+			}
+			wait := time.Until(flushAt)
+			if wait <= 0 {
+				b.flush()
+				continue
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+				b.flush()
+			case <-b.wake:
+			case <-b.quit:
+				b.flush()
+				return
+			}
+			continue
+		}
+		select {
+		case <-b.wake:
+		case <-b.quit:
+			b.flush()
+			return
+		}
+	}
+}
+
+// flush takes the whole queue and classifies it. The model forward runs in
+// its own goroutine so the collector immediately resumes gathering the next
+// batch. Submissions whose context already died are answered with the
+// context error instead of joining the forward; submissions with different
+// cell budgets n are grouped into separate forwards (they cannot share one).
+func (b *Batcher) flush() {
+	b.mu.Lock()
+	calls := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(calls) == 0 {
+		return
+	}
+
+	now := time.Now()
+	live := calls[:0]
+	dropped := 0
+	for _, c := range calls {
+		if c.ctx.Err() != nil {
+			c.out <- batchResult{err: c.ctx.Err()}
+			dropped++
+			continue
+		}
+		live = append(live, c)
+	}
+	var queued time.Duration
+	for _, c := range live {
+		queued += now.Sub(c.enqueued)
+	}
+	groups := make(map[int][]*batchCall)
+	for _, c := range live {
+		groups[c.n] = append(groups[c.n], c)
+	}
+
+	b.mu.Lock()
+	b.stats.DeadlineDropped += dropped
+	b.stats.QueueDelay += queued
+	for _, g := range groups {
+		b.stats.Batches++
+		if len(g) > 1 {
+			b.stats.CoalescedBatches++
+		}
+		chunks := 0
+		for _, c := range g {
+			chunks += len(c.reqs)
+		}
+		b.stats.BatchedChunks += chunks
+		if chunks > b.stats.MaxBatchChunks {
+			b.stats.MaxBatchChunks = chunks
+		}
+	}
+	b.mu.Unlock()
+
+	for _, g := range groups {
+		go b.run(g)
+	}
+}
+
+// run executes one coalesced model forward and demultiplexes the results.
+func (b *Batcher) run(g []*batchCall) {
+	all := make([]adtd.ContentRequest, 0, len(g))
+	for _, c := range g {
+		all = append(all, c.reqs...)
+	}
+	batch := b.model.PredictContentBatch(all, g[0].n)
+	off := 0
+	for _, c := range g {
+		c.out <- batchResult{probs: batch[off : off+len(c.reqs)]}
+		off += len(c.reqs)
+	}
+}
+
+var _ core.ContentInferencer = (*Batcher)(nil)

@@ -42,6 +42,7 @@ type Service struct {
 
 	defaultMode     core.ExecMode
 	defaultDeadline time.Duration
+	batcher         *Batcher
 }
 
 // New creates a service around a detector. Pipelined requests default to
@@ -63,6 +64,27 @@ func (s *Service) SetDefaultMode(mode core.ExecMode) { s.defaultMode = mode }
 // requests that do not carry their own deadline_ms (0 disables). Call
 // before serving traffic.
 func (s *Service) SetDefaultDeadline(d time.Duration) { s.defaultDeadline = d }
+
+// EnableBatching routes the detector's Phase-2 content inference through a
+// cross-request micro-batcher: chunks from concurrent /v1/detect requests
+// arriving within window of each other share one model forward, up to
+// maxBatch chunks per forward. window ≤ 0 disables batching. Call before
+// serving traffic; Close stops the batcher.
+func (s *Service) EnableBatching(window time.Duration, maxBatch int) {
+	if window <= 0 {
+		return
+	}
+	s.batcher = NewBatcher(s.detector.Model, window, maxBatch)
+	s.detector.SetContentInferencer(s.batcher)
+}
+
+// Close stops the micro-batcher (if enabled) after flushing queued work.
+// Detection keeps working afterwards — inference just runs unbatched.
+func (s *Service) Close() {
+	if s.batcher != nil {
+		s.batcher.Stop()
+	}
+}
 
 // RegisterTenant attaches a database server under the given database name.
 func (s *Service) RegisterTenant(dbName string, server *simdb.Server) {
@@ -356,9 +378,11 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 type StatsResponse struct {
 	Tenants map[string]simdb.AccountingSnapshot `json:"tenants"`
 	Cache   struct {
-		Hits   int `json:"hits"`
-		Misses int `json:"misses"`
-		Size   int `json:"size"`
+		Hits          int `json:"hits"`
+		Misses        int `json:"misses"`
+		Evictions     int `json:"evictions"`
+		SkippedCopies int `json:"skipped_copies"`
+		Size          int `json:"size"`
 	} `json:"cache"`
 	// Detector is the fault-tolerance ledger: retries spent and columns
 	// degraded since the service started.
@@ -368,6 +392,20 @@ type StatsResponse struct {
 		DeadlineDegraded int `json:"deadline_degraded"`
 		FailureDegraded  int `json:"failure_degraded"`
 	} `json:"detector"`
+	// Batcher reports cross-request micro-batching activity; nil when
+	// batching is disabled.
+	Batcher *BatcherStatsResponse `json:"batcher,omitempty"`
+}
+
+// BatcherStatsResponse is the /v1/stats view of BatcherStats.
+type BatcherStatsResponse struct {
+	Submissions      int   `json:"submissions"`
+	Batches          int   `json:"batches"`
+	CoalescedBatches int   `json:"coalesced_batches"`
+	BatchedChunks    int   `json:"batched_chunks"`
+	MaxBatchChunks   int   `json:"max_batch_chunks"`
+	QueueDelayMicros int64 `json:"queue_delay_us"`
+	DeadlineDropped  int   `json:"deadline_dropped"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -381,14 +419,28 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Tenants[name] = server.Accounting().Snapshot()
 	}
 	s.mu.RUnlock()
-	hits, misses := s.detector.Cache().Stats()
-	resp.Cache.Hits = hits
-	resp.Cache.Misses = misses
+	cs := s.detector.Cache().Stats()
+	resp.Cache.Hits = cs.Hits
+	resp.Cache.Misses = cs.Misses
+	resp.Cache.Evictions = cs.Evictions
+	resp.Cache.SkippedCopies = cs.SkippedCopies
 	resp.Cache.Size = s.detector.Cache().Len()
 	fs := s.detector.FaultStats()
 	resp.Detector.Retries = fs.Retries
 	resp.Detector.DegradedColumns = fs.DegradedColumns
 	resp.Detector.DeadlineDegraded = fs.DeadlineDegraded
 	resp.Detector.FailureDegraded = fs.FailureDegraded
+	if s.batcher != nil {
+		bs := s.batcher.Stats()
+		resp.Batcher = &BatcherStatsResponse{
+			Submissions:      bs.Submissions,
+			Batches:          bs.Batches,
+			CoalescedBatches: bs.CoalescedBatches,
+			BatchedChunks:    bs.BatchedChunks,
+			MaxBatchChunks:   bs.MaxBatchChunks,
+			QueueDelayMicros: bs.QueueDelay.Microseconds(),
+			DeadlineDropped:  bs.DeadlineDropped,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

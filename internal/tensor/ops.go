@@ -52,42 +52,20 @@ func MatMulNT(a, b *Tensor) *Tensor {
 }
 
 // matmulInto computes out = A(m×k) × B(k×n), overwriting out. Output rows
-// are sharded across the runtime's worker pool; each row's accumulation
-// order is identical to the sequential kernel, so results are bit-exact
-// regardless of the parallelism setting.
+// are sharded across the runtime's worker pool and the inner loop is
+// register-blocked four ranks at a time (mulRowRange); each row's
+// accumulation order is identical to the scalar one-rank-at-a-time kernel,
+// so results are bit-exact regardless of parallelism or blocking.
 func matmulInto(out, a, b []float64, m, k, n int) {
 	parallelRows(m, k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out[i*n : (i+1)*n]
-			for x := range orow {
-				orow[x] = 0
-			}
-			arow := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				axpy(av, b[p*n:(p+1)*n], orow)
-			}
-		}
+		mulRowRange(out, a, b, lo, hi, k, n, n, 0, true)
 	})
 }
 
 // matmulAccInto computes out += A(m×k) × B(k×n), row-sharded like matmulInto.
 func matmulAccInto(out, a, b []float64, m, k, n int) {
 	parallelRows(m, k*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out[i*n : (i+1)*n]
-			arow := a[i*k : (i+1)*k]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				axpy(av, b[p*n:(p+1)*n], orow)
-			}
-		}
+		mulRowRange(out, a, b, lo, hi, k, n, n, 0, false)
 	})
 }
 

@@ -83,6 +83,13 @@ const (
 // fallback. body must be safe to run concurrently on disjoint row ranges.
 func parallelRows(rows, mulAddsPerRow int, body func(lo, hi int)) {
 	w := Parallelism()
+	// Sharding beyond the cores that can actually run is pure overhead:
+	// with GOMAXPROCS=1 every "parallel" shard still executes serially but
+	// pays the pool hand-off and WaitGroup costs (the BENCH_1 par4 ≈ par1
+	// anomaly). Cap the effective shard count at the scheduler's limit.
+	if procs := runtime.GOMAXPROCS(0); w > procs {
+		w = procs
+	}
 	total := rows * mulAddsPerRow
 	if w <= 1 || rows < 2 || total < parallelMulAdds {
 		body(0, rows)

@@ -12,6 +12,7 @@ package tokenizer
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Special token identifiers. These occupy the first vocabulary slots in the
@@ -34,6 +35,10 @@ var SpecialTokens = []string{PAD, UNK, CLS, SEP, MASK, COL, VAL, TAB}
 type Tokenizer struct {
 	vocab map[string]int
 	terms []string
+	// contVocab indexes continuation pieces by their text without the "##"
+	// prefix, so the allocation-free EncodeAppend can look up candidates as
+	// plain substrings instead of building "##"+cand strings.
+	contVocab map[string]int
 }
 
 // New creates a tokenizer over the given vocabulary terms. The special
@@ -51,6 +56,12 @@ func New(terms []string) *Tokenizer {
 		}
 		t.vocab[term] = len(t.terms)
 		t.terms = append(t.terms, term)
+	}
+	t.contVocab = make(map[string]int)
+	for term, id := range t.vocab {
+		if strings.HasPrefix(term, "##") {
+			t.contVocab[term[2:]] = id
+		}
 	}
 	return t
 }
@@ -92,6 +103,85 @@ func (t *Tokenizer) Encode(text string) []int {
 		ids[i] = t.ID(p)
 	}
 	return ids
+}
+
+// EncodeAppend appends the vocabulary ids of text's word pieces to dst and
+// returns the extended slice. It produces exactly the ids of Encode but is
+// the inference hot path: basic tokens stay substrings of the lower-cased
+// text, wordpiece candidates are looked up as substrings (continuations via
+// contVocab), and no intermediate piece strings or slices are built.
+func (t *Tokenizer) EncodeAppend(dst []int, text string) []int {
+	if !utf8.ValidString(text) {
+		// The rune-based reference replaces invalid bytes with U+FFFD;
+		// substring arithmetic can't, so take the slow path for parity.
+		for _, p := range t.Tokenize(text) {
+			dst = append(dst, t.ID(p))
+		}
+		return dst
+	}
+	lower := strings.ToLower(text)
+	wordStart := -1
+	for i := 0; i < len(lower); {
+		r, size := utf8.DecodeRuneInString(lower[i:])
+		switch {
+		case unicode.IsSpace(r):
+			if wordStart >= 0 {
+				dst = t.wordpieceAppend(dst, lower[wordStart:i])
+				wordStart = -1
+			}
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			if wordStart >= 0 {
+				dst = t.wordpieceAppend(dst, lower[wordStart:i])
+				wordStart = -1
+			}
+			dst = t.wordpieceAppend(dst, lower[i:i+size])
+		default:
+			if wordStart < 0 {
+				wordStart = i
+			}
+		}
+		i += size
+	}
+	if wordStart >= 0 {
+		dst = t.wordpieceAppend(dst, lower[wordStart:])
+	}
+	return dst
+}
+
+// wordpieceAppend is wordpiece directly to ids: greedy longest-prefix
+// segmentation with candidates taken as substrings of word (rune-boundary
+// end points, identical to the rune-slice reference).
+func (t *Tokenizer) wordpieceAppend(dst []int, word string) []int {
+	if id, ok := t.vocab[word]; ok {
+		return append(dst, id)
+	}
+	mark := len(dst)
+	start := 0
+	for start < len(word) {
+		end := len(word)
+		found := -1
+		for end > start {
+			var id int
+			var ok bool
+			if start > 0 {
+				id, ok = t.contVocab[word[start:end]]
+			} else {
+				id, ok = t.vocab[word[start:end]]
+			}
+			if ok {
+				found = id
+				break
+			}
+			_, size := utf8.DecodeLastRuneInString(word[start:end])
+			end -= size
+		}
+		if found < 0 {
+			return append(dst[:mark], t.vocab[UNK])
+		}
+		dst = append(dst, found)
+		start = end
+	}
+	return dst
 }
 
 // Tokenize splits text into word pieces without converting to ids.

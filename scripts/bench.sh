@@ -2,10 +2,21 @@
 # Runs the compute-runtime benchmark set and emits a JSON summary
 # (ns/op, B/op, allocs/op per benchmark) to the file named by $1
 # (default BENCH_1.json). Stdlib tooling only.
+#
+# The header records GOMAXPROCS, the CPU count, the go version and the git
+# SHA, because the numbers are meaningless without them: BENCH_1's par4
+# shards running no faster than par1 looked like a kernel regression but was
+# simply a single-CPU container (GOMAXPROCS=1), where extra shards only add
+# scheduling overhead. parallelRows now caps shard count at GOMAXPROCS, and
+# the header makes the machine shape part of the record.
 set -eu
 
 OUT="${1:-BENCH_1.json}"
 cd "$(dirname "$0")/.."
+
+NCPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
+MAXPROCS="${GOMAXPROCS:-$NCPU}"
+GITSHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -26,7 +37,9 @@ run ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceCachedLate
 run ./internal/pipeline 'BenchmarkSequentialExecution$|BenchmarkPipelinedExecution$' 1s
 run ./internal/core 'BenchmarkDetectDatabase' 3x
 
-awk -v host="$(go env GOOS)/$(go env GOARCH)" '
+awk -v host="$(go env GOOS)/$(go env GOARCH)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v maxprocs="$MAXPROCS" -v ncpu="$NCPU" -v sha="$GITSHA" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -44,7 +57,12 @@ BEGIN { n = 0 }
     results[n++] = line
 }
 END {
-    printf "{\n  \"platform\": \"%s\",\n  \"benchmarks\": [\n", host
+    printf "{\n  \"platform\": \"%s\",\n", host
+    printf "  \"go_version\": \"%s\",\n", goversion
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
+    printf "  \"cpus\": %s,\n", ncpu
+    printf "  \"git_sha\": \"%s\",\n", sha
+    printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n-1 ? "," : "")
     printf "  ]\n}\n"
 }' "$TMP" >"$OUT"
