@@ -4,11 +4,11 @@ GO ?= go
 
 # Packages whose concurrency the race detector must vet: the tensor
 # runtime's worker pool + arena, the latent cache, the pipelined scheduler,
-# the fault-injecting simdb, and the HTTP service with its cross-request
-# micro-batcher.
-RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/...
+# the fault-injecting simdb, the HTTP service with its cross-request
+# micro-batcher, and the lock-free metrics registry.
+RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
 
-.PHONY: build vet test race race-all fuzz ci bench bench-smoke clean
+.PHONY: build vet test race race-all fuzz ci bench bench-smoke metrics-smoke clean
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,15 @@ race:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzHandleDetect -fuzztime=20s ./internal/service/
 
+# metrics-smoke boots tasted with -debug-addr, fires a traced detect, and
+# asserts /metrics and /debug/pprof serve what DESIGN.md §9 promises.
+metrics-smoke:
+	bash scripts/metrics_smoke.sh
+
 # ci is the gate a pull request must pass: vet, build, the full test suite,
-# and the race detector over every concurrent package.
-ci: vet test race
+# the race detector over every concurrent package, and the observability
+# smoke test.
+ci: vet test race metrics-smoke
 
 # race-all adds internal/core, whose fixture trains a model and needs a
 # far longer deadline under the race detector's ~10x slowdown.

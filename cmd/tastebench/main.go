@@ -35,6 +35,7 @@ func main() {
 		inferWorkers = flag.Int("infer-workers", 0, "TP2 pool size for pipelined runs (0 = paper default of 2)")
 		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
 		fastpath     = flag.Bool("fastpath", true, "use the fused no-grad inference kernels (disable to time the composed autograd ops)")
+		trace        = flag.Bool("trace", false, "run one traced detection and print the per-phase latency breakdown (Table-7 style) instead of the experiments")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*parallelism)
@@ -66,9 +67,12 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		if *experiment == "all" {
+		switch {
+		case *trace:
+			done <- suite.TraceBreakdown(os.Stdout)
+		case *experiment == "all":
 			done <- suite.RunAll(os.Stdout)
-		} else {
+		default:
 			done <- suite.Run(*experiment, os.Stdout)
 		}
 	}()

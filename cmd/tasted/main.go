@@ -37,6 +37,7 @@ func main() {
 	autoMode := core.AutoMode()
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "observability listener serving /metrics and /debug/pprof (empty disables)")
 		checkpoint   = flag.String("checkpoint", "", "ADTD checkpoint from tastetrain (matching -tables/-seed)")
 		train        = flag.Bool("train", false, "train a fresh model at startup instead of loading a checkpoint")
 		tables       = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
@@ -118,6 +119,16 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: svc.DebugHandler()}
+		go func() {
+			log.Printf("observability listening on %s (/metrics, /debug/pprof)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		// Give in-flight detect requests a bounded window to finish; their
@@ -127,6 +138,9 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shCtx)
 		}
 	}()
 

@@ -2,6 +2,7 @@ package adtd
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/metafeat"
 	"repro/internal/tensor"
@@ -36,6 +37,7 @@ func (m *Model) PredictContentBatch(reqs []ContentRequest, n int) [][][]float64 
 	if len(reqs) == 0 {
 		return nil
 	}
+	defer observeContentForward(time.Now(), len(reqs))
 	if m.evalFast() && batchNoGrad(reqs) {
 		return m.predictContentBatchFast(reqs, n)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/metafeat"
 	"repro/internal/nn"
@@ -358,6 +359,7 @@ func Sigmoid(logits *tensor.Tensor) [][]float64 {
 // PredictMeta is the Phase-1 inference path: encode metadata and return the
 // encoding (for caching) plus per-column type probabilities p_{c,s}.
 func (m *Model) PredictMeta(t *metafeat.TableInfo, includeStats bool) (*MetaEncoding, [][]float64) {
+	defer observeMetaForward(time.Now())
 	in := m.enc.BuildMetaInput(t, includeStats)
 	if m.evalFast() {
 		// One warm workspace threads through the whole phase: encoder blocks,

@@ -28,6 +28,7 @@ import (
 	"repro/internal/adtd"
 	"repro/internal/corpus"
 	"repro/internal/metafeat"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/ruledet"
 	"repro/internal/simdb"
@@ -218,6 +219,7 @@ func (d *Detector) noteRetry() {
 	d.faultMu.Lock()
 	d.stats.Retries++
 	d.faultMu.Unlock()
+	detectorRetriesTotal.Inc()
 }
 
 func (d *Detector) noteDegraded(n int, deadline bool) {
@@ -232,6 +234,11 @@ func (d *Detector) noteDegraded(n int, deadline bool) {
 		d.stats.FailureDegraded += n
 	}
 	d.faultMu.Unlock()
+	if deadline {
+		degradedDeadlineTotal.Add(int64(n))
+	} else {
+		degradedFailureTotal.Add(int64(n))
+	}
 }
 
 // backoff returns the sleep before retry attempt+1: base·2^attempt plus up
@@ -316,6 +323,10 @@ type TableResult struct {
 	Table          string
 	Columns        []ColumnResult
 	ScannedColumns int
+	// Retries counts the backoff retries spent on this table alone. Callers
+	// aggregating concurrent requests must sum these rather than diffing the
+	// detector's global FaultStats ledger, which other requests also move.
+	Retries int
 }
 
 // DegradedColumns counts the table's degraded columns.
@@ -759,14 +770,20 @@ func isUncertain(probs []float64, alpha, beta float64) bool {
 	return false
 }
 
-// stages exposes the job's four ordered stages for the scheduler.
+// stages exposes the job's four ordered stages for the scheduler, each
+// wrapped with its duration histogram and (when the request is traced) a
+// span named "s<N>:<table>".
 func (j *tableJob) stages() []pipeline.Stage {
-	return []pipeline.Stage{
+	raw := []pipeline.Stage{
 		{Kind: pipeline.Prep, Name: j.table + "/p1-prep", Run: j.s1PrepMetadata},
 		{Kind: pipeline.Infer, Name: j.table + "/p1-infer", Run: j.s2InferMetadata},
 		{Kind: pipeline.Prep, Name: j.table + "/p2-prep", Run: j.s3PrepContent},
 		{Kind: pipeline.Infer, Name: j.table + "/p2-infer", Run: j.s4InferContent},
 	}
+	for i := range raw {
+		raw[i] = instrumentStage(i, j.table, raw[i])
+	}
+	return raw
 }
 
 // DetectTable runs end-to-end detection for one table over an existing
@@ -781,11 +798,15 @@ func (d *Detector) DetectTable(ctx context.Context, conn *simdb.Conn, dbName, ta
 			// Salvage a deadline-killed job when Phase 1 already answered.
 			if j.res != nil && !d.Opts.DisableDegradation && errors.Is(err, context.DeadlineExceeded) {
 				j.degrade(j.uncertain, "deadline exceeded", true)
+				j.res.Retries = j.retries
+				tablesDetectedTotal.Inc()
 				return j.res, nil
 			}
 			return nil, fmt.Errorf("core: table %s, stage %s: %w", table, st.Name, err)
 		}
 	}
+	j.res.Retries = j.retries
+	tablesDetectedTotal.Inc()
 	return j.res, nil
 }
 
@@ -802,22 +823,26 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 	start := time.Now()
 	batchRetries := 0
 	var conn *simdb.Conn
+	_, connSpan := obs.StartSpan(ctx, "connect")
 	n, err := d.retry(ctx, server.Accounting(), func() error {
 		var e error
 		conn, e = server.Connect(ctx, dbName)
 		return e
 	})
+	connSpan.End()
 	batchRetries += n
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	var tables []string
+	_, listSpan := obs.StartSpan(ctx, "list_tables")
 	n, err = d.retry(ctx, server.Accounting(), func() error {
 		var e error
 		tables, e = conn.ListTables(ctx)
 		return e
 	})
+	listSpan.End()
 	batchRetries += n
 	if err != nil {
 		return nil, err
@@ -856,6 +881,8 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 			}
 		}
 		tr := tj.res
+		tr.Retries = tj.retries
+		tablesDetectedTotal.Inc()
 		rep.Tables = append(rep.Tables, tr)
 		rep.TotalColumns += len(tr.Columns)
 		rep.ScannedColumns += tr.ScannedColumns

@@ -1,0 +1,35 @@
+// HTTP exposition: the Prometheus /metrics handler and a debug mux bundling
+// it with net/http/pprof — what `tasted -debug-addr` serves.
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text format. sync, when
+// non-nil, runs before each scrape — the hook services use to mirror
+// externally-owned ledgers (cache stats, batcher stats) into gauges.
+func Handler(r *Registry, sync func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if sync != nil {
+			sync()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugMux returns a mux with the registry's /metrics plus the standard
+// net/http/pprof endpoints under /debug/pprof/ — CPU and heap profiles,
+// goroutine dumps, and execution traces for a running tasted.
+func DebugMux(r *Registry, sync func()) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r, sync))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

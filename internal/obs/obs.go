@@ -1,0 +1,384 @@
+// Package obs is the runtime observability layer: an atomic
+// counter/gauge/histogram registry with Prometheus text exposition, and
+// request-scoped trace spans threaded through context.Context. It is built
+// on the standard library only and is safe for concurrent use on every
+// path — instrumentation sites record with single atomic operations, and
+// scrapes never block recorders.
+//
+// Metric naming follows the Prometheus conventions: every series is
+// `taste_<subsystem>_<what>[_<unit>][_total]` with labels for bounded
+// dimensions (stage, kind, op, outcome). Latency histograms share one fixed
+// log-scale bucket layout (LatencyBuckets: 10 µs doubling to ~84 s) so
+// per-stage, per-op, and per-request distributions are directly comparable;
+// ratio histograms use a linear 0..1 layout (RatioBuckets). See DESIGN.md §9
+// for the full series inventory.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depths, cache sizes,
+// counters mirrored from an external ledger at scrape time).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are defined by
+// their upper bounds (ascending); one implicit +Inf bucket catches the tail.
+// Observations and scrapes are lock-free.
+type Histogram struct {
+	bounds  []float64      // upper bounds, ascending; implicit +Inf appended
+	counts  []atomic.Int64 // len(bounds)+1
+	sumBits atomic.Uint64  // float64 bits of the running sum
+	count   atomic.Int64
+}
+
+// LatencyBuckets is the shared log-scale layout for every duration
+// histogram: 24 buckets from 10 µs doubling to ~83.9 s. One layout across
+// all subsystems keeps per-stage and per-op distributions comparable.
+func LatencyBuckets() []float64 { return ExpBuckets(10e-6, 2, 24) }
+
+// RatioBuckets is the linear 0..1 layout used for the scanned-column ratio
+// and other fraction-valued histograms (20 buckets of width 0.05).
+func RatioBuckets() []float64 { return LinearBuckets(0.05, 0.05, 20) }
+
+// ExpBuckets returns n upper bounds starting at start, multiplying by
+// factor: the standard log-scale latency layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds starting at start with the given
+// step.
+func LinearBuckets(start, step float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ 25) and the scan is branch-
+	// predictable; a binary search buys nothing at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns the cumulative bucket counts (one per bound plus +Inf).
+// Taken bucket-by-bucket without a lock, so concurrent observations may make
+// the snapshot internally torn by a few counts — fine for monitoring.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.counts))
+	running := int64(0)
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cumulative[i] = running
+	}
+	return bounds, cumulative
+}
+
+// series identifies one labeled time series.
+type series struct {
+	name   string
+	labels [][2]string
+}
+
+// key renders the canonical identity (labels sorted by key).
+func (s series) key() string {
+	if len(s.labels) == 0 {
+		return s.name
+	}
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('{')
+	for i, kv := range s.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderSuffixed writes the series with the metric name suffixed (the
+// histogram `_bucket`/`_sum`/`_count` sub-series) and optional extra labels
+// appended (the `le` bound).
+func (s series) renderSuffixed(suffix string, extra ...[2]string) string {
+	all := series{name: s.name + suffix, labels: append(append([][2]string(nil), s.labels...), extra...)}
+	return all.key()
+}
+
+func makeSeries(name string, labels []string) series {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key,value pairs")
+	}
+	s := series{name: name}
+	for i := 0; i+1 < len(labels); i += 2 {
+		s.labels = append(s.labels, [2]string{labels[i], labels[i+1]})
+	}
+	sort.Slice(s.labels, func(i, j int) bool { return s.labels[i][0] < s.labels[j][0] })
+	return s
+}
+
+// Registry holds named metrics. Lookups lazily create the metric, so
+// instrumentation sites can grab handles at package init without a central
+// registration ceremony. The zero value is not usable; use NewRegistry.
+type Registry struct {
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	seriesOf  map[string]series // key → parsed identity, for exposition
+	typeOf    map[string]string // base name → "counter"|"gauge"|"histogram"
+	histOrder []string          // insertion order for stable output
+	ctrOrder  []string
+	gaugeOrd  []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		seriesOf: make(map[string]series),
+		typeOf:   make(map[string]string),
+	}
+}
+
+// Default is the process-wide registry every instrumentation site records
+// to, mirroring Prometheus's default registerer. Tests that assert exact
+// values should use their own NewRegistry.
+var Default = NewRegistry()
+
+func (r *Registry) noteType(name, typ string) {
+	if have, ok := r.typeOf[name]; ok {
+		if have != typ {
+			panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, have, typ))
+		}
+		return
+	}
+	r.typeOf[name] = typ
+}
+
+// Counter returns (creating on first use) the counter for name and labels.
+// Labels are alternating key, value strings.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := makeSeries(name, labels)
+	k := s.key()
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[k]; ok {
+		return c
+	}
+	r.noteType(name, "counter")
+	c = &Counter{}
+	r.counters[k] = c
+	r.seriesOf[k] = s
+	r.ctrOrder = append(r.ctrOrder, k)
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name and labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := makeSeries(name, labels)
+	k := s.key()
+	r.mu.RLock()
+	g, ok := r.gauges[k]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[k]; ok {
+		return g
+	}
+	r.noteType(name, "gauge")
+	g = &Gauge{}
+	r.gauges[k] = g
+	r.seriesOf[k] = s
+	r.gaugeOrd = append(r.gaugeOrd, k)
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for name and
+// labels, with the given bucket upper bounds. Bounds are fixed at creation;
+// later calls with different bounds return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	s := makeSeries(name, labels)
+	k := s.key()
+	r.mu.RLock()
+	h, ok := r.hists[k]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[k]; ok {
+		return h
+	}
+	r.noteType(name, "histogram")
+	h = newHistogram(bounds)
+	r.hists[k] = h
+	r.seriesOf[k] = s
+	r.histOrder = append(r.histOrder, k)
+	return h
+}
+
+// LatencyHistogram is Histogram with the shared log-scale latency layout.
+func (r *Registry) LatencyHistogram(name string, labels ...string) *Histogram {
+	return r.Histogram(name, LatencyBuckets(), labels...)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers per metric name, counter and
+// gauge samples, and histograms expanded into cumulative `_bucket` series
+// plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ctrKeys := append([]string(nil), r.ctrOrder...)
+	gaugeKeys := append([]string(nil), r.gaugeOrd...)
+	histKeys := append([]string(nil), r.histOrder...)
+	counters := make(map[string]*Counter, len(ctrKeys))
+	gauges := make(map[string]*Gauge, len(gaugeKeys))
+	hists := make(map[string]*Histogram, len(histKeys))
+	ids := make(map[string]series, len(r.seriesOf))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	for k, v := range r.seriesOf {
+		ids[k] = v
+	}
+	r.mu.RUnlock()
+
+	sort.Strings(ctrKeys)
+	sort.Strings(gaugeKeys)
+	sort.Strings(histKeys)
+	typed := make(map[string]bool)
+	header := func(name, typ string) string {
+		if typed[name] {
+			return ""
+		}
+		typed[name] = true
+		return fmt.Sprintf("# TYPE %s %s\n", name, typ)
+	}
+
+	var b strings.Builder
+	for _, k := range ctrKeys {
+		s := ids[k]
+		b.WriteString(header(s.name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", k, counters[k].Value())
+	}
+	for _, k := range gaugeKeys {
+		s := ids[k]
+		b.WriteString(header(s.name, "gauge"))
+		fmt.Fprintf(&b, "%s %d\n", k, gauges[k].Value())
+	}
+	for _, k := range histKeys {
+		s := ids[k]
+		h := hists[k]
+		b.WriteString(header(s.name, "histogram"))
+		bounds, cum := h.Snapshot()
+		for i, bound := range bounds {
+			fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_bucket", [2]string{"le", formatFloat(bound)}), cum[i])
+		}
+		fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_bucket", [2]string{"le", "+Inf"}), cum[len(cum)-1])
+		fmt.Fprintf(&b, "%s %s\n", s.renderSuffixed("_sum"), formatFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_count"), h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

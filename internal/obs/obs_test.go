@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "k", "v")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total", "k", "v") != c {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if r.Counter("x_total", "k", "w") == c {
+		t.Fatal("different labels must return a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("y_total", "b", "2", "a", "1")
+	b := r.Counter("y_total", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order must not create distinct series")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot shape %d/%d", len(bounds), len(cum))
+	}
+	want := []int64{2, 3, 4, 5} // cumulative: ≤1, ≤2, ≤4, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, cum[i], w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-9 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+}
+
+func TestBucketLayouts(t *testing.T) {
+	lat := LatencyBuckets()
+	if len(lat) != 24 || lat[0] != 10e-6 {
+		t.Fatalf("latency layout %v", lat[:2])
+	}
+	for i := 1; i < len(lat); i++ {
+		if lat[i] <= lat[i-1] {
+			t.Fatal("bounds must ascend")
+		}
+	}
+	rat := RatioBuckets()
+	if len(rat) != 20 || math.Abs(rat[19]-1.0) > 1e-9 {
+		t.Fatalf("ratio layout ends at %v", rat[19])
+	}
+}
+
+// TestWritePrometheus asserts the exposition invariants a scraper relies
+// on: one TYPE line per metric, cumulative non-decreasing buckets, and
+// count == +Inf bucket.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "outcome", "ok").Add(3)
+	r.Gauge("size").Set(9)
+	h := r.Histogram("lat_seconds", []float64{0.001, 0.01}, "stage", "s1")
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{outcome="ok"} 3`,
+		"# TYPE size gauge",
+		"size 9",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{stage="s1",le="0.001"} 1`,
+		`lat_seconds_bucket{stage="s1",le="+Inf"} 2`,
+		`lat_seconds_count{stage="s1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	assertParses(t, out)
+}
+
+func assertParses(t *testing.T, text string) {
+	t.Helper()
+	if err := CheckText(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	synced := false
+	h := Handler(r, func() { synced = true })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !synced {
+		t.Fatal("sync hook did not run")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "a_total 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	mux := DebugMux(NewRegistry(), nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index: %d %q", rec.Code, rec.Body.String()[:min(80, rec.Body.Len())])
+	}
+}
+
+// TestRegistryConcurrentScrapeRecord is the race-mode regression: writers
+// hammer counters/gauges/histograms (including lazy creation) while readers
+// scrape, and every scrape must stay internally consistent.
+func TestRegistryConcurrentScrapeRecord(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c_total", "w", strconv.Itoa(w)).Inc()
+				r.Gauge("g", "w", strconv.Itoa(w)).Set(int64(i))
+				r.Histogram("h_seconds", LatencyBuckets(), "w", strconv.Itoa(w)).Observe(float64(i%10) / 1e4)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		assertParses(t, b.String())
+	}
+	close(stop)
+	wg.Wait()
+
+	// Monotonicity across scrapes: a second scrape must never show smaller
+	// counters than a first.
+	before := r.Counter("c_total", "w", "0").Value()
+	r.Counter("c_total", "w", "0").Inc()
+	if after := r.Counter("c_total", "w", "0").Value(); after <= before {
+		t.Fatalf("counter went %d -> %d", before, after)
+	}
+}
+
+func TestMixedTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two types must panic")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("taste_detect_requests_total", "outcome", "ok").Add(2)
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # TYPE taste_detect_requests_total counter
+	// taste_detect_requests_total{outcome="ok"} 2
+}

@@ -13,7 +13,19 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// queueWait records how long a stage sat eligible-but-undispatched: the
+// scheduler-added latency the paper's §5 pipelining analysis cares about.
+// Stages are labeled by position (s1..s4 for Taste's four-stage jobs) so the
+// histogram lines up with the per-stage duration series in core.
+func queueWait(stageIdx int, kind StageKind, d time.Duration) {
+	obs.Default.LatencyHistogram("taste_pipeline_queue_wait_seconds",
+		"stage", fmt.Sprintf("s%d", stageIdx+1), "kind", kind.String()).ObserveDuration(d)
+}
 
 // StageKind distinguishes the two resource classes of §5.
 type StageKind int
@@ -119,11 +131,16 @@ func runPipelined(ctx context.Context, jobs []*Job, prepWorkers, inferWorkers in
 		job  *Job
 		next int // index of the next stage to dispatch
 		busy bool
+		// readyAt is when the job's next stage became eligible (job
+		// submission, or the previous stage's completion); dispatch-readyAt
+		// is the stage's queue wait.
+		readyAt time.Time
 	}
+	now := time.Now()
 	states := make([]*jobState, len(jobs))
 	remaining := 0
 	for i, j := range jobs {
-		states[i] = &jobState{job: j}
+		states[i] = &jobState{job: j, readyAt: now}
 		remaining += len(j.Stages)
 	}
 
@@ -174,10 +191,12 @@ func runPipelined(ctx context.Context, jobs []*Job, prepWorkers, inferWorkers in
 	dispatch := func(st *jobState) {
 		stage := st.job.Stages[st.next]
 		st.busy = true
+		queueWait(st.next, stage.Kind, time.Since(st.readyAt))
 		go func() {
 			err := stage.Run(ctx)
 			mu.Lock()
 			st.busy = false
+			st.readyAt = time.Now()
 			if err != nil {
 				st.job.Err = fmt.Errorf("stage %s: %w", stage.Name, err)
 				// Cancel the job's remaining stages.

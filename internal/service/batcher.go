@@ -10,6 +10,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -43,6 +44,10 @@ type BatcherStats struct {
 	// they were answered with the context error (the detector degrades
 	// them) and never reached the model.
 	DeadlineDropped int
+	// Panics counts model forwards that panicked. Every submitter in the
+	// panicked batch is answered with an error (the detector degrades those
+	// tables); the batcher itself keeps running.
+	Panics int
 }
 
 // batchCall is one queued InferContentBatch submission.
@@ -67,6 +72,10 @@ type Batcher struct {
 	window   time.Duration
 	maxBatch int // flush early once this many chunks are queued
 
+	// forward runs one coalesced model forward. Defaults to
+	// model.PredictContentBatch; tests swap it to inject panics.
+	forward func(reqs []adtd.ContentRequest, n int) [][][]float64
+
 	mu      sync.Mutex
 	pending []*batchCall
 	stats   BatcherStats
@@ -75,6 +84,7 @@ type Batcher struct {
 	wake chan struct{} // signals the collector that pending changed
 	quit chan struct{}
 	done chan struct{}
+	runs sync.WaitGroup // in-flight run goroutines spawned by flush
 }
 
 // NewBatcher creates and starts a micro-batcher over the model. window is
@@ -93,12 +103,14 @@ func NewBatcher(model *adtd.Model, window time.Duration, maxBatch int) *Batcher 
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	b.forward = model.PredictContentBatch
 	go b.collect()
 	return b
 }
 
-// Stop shuts the collector down after flushing anything still queued.
-// Submissions after Stop run unbatched.
+// Stop shuts the collector down after flushing anything still queued, then
+// waits for every in-flight model forward: once Stop returns no batcher
+// goroutine is running. Submissions after Stop run unbatched.
 func (b *Batcher) Stop() {
 	b.mu.Lock()
 	if b.stopped {
@@ -109,6 +121,7 @@ func (b *Batcher) Stop() {
 	b.mu.Unlock()
 	close(b.quit)
 	<-b.done
+	b.runs.Wait()
 }
 
 // Stats returns a snapshot of the batching counters.
@@ -130,12 +143,13 @@ func (b *Batcher) InferContentBatch(ctx context.Context, reqs []adtd.ContentRequ
 	b.mu.Lock()
 	if b.stopped || b.window <= 0 {
 		b.mu.Unlock()
-		return b.model.PredictContentBatch(reqs, n), nil
+		return b.forward(reqs, n), nil
 	}
 	call := &batchCall{ctx: ctx, reqs: reqs, n: n, enqueued: time.Now(), out: make(chan batchResult, 1)}
 	b.pending = append(b.pending, call)
 	b.stats.Submissions++
 	b.mu.Unlock()
+	batcherSubmissionsTotal.Inc()
 	select {
 	case b.wake <- struct{}{}:
 	default:
@@ -241,8 +255,11 @@ func (b *Batcher) flush() {
 	}
 	var queued time.Duration
 	for _, c := range live {
-		queued += now.Sub(c.enqueued)
+		d := now.Sub(c.enqueued)
+		queued += d
+		batcherQueueDelaySeconds.ObserveDuration(d)
 	}
+	batcherDeadlineDroppedTotal.Add(int64(dropped))
 	groups := make(map[int][]*batchCall)
 	for _, c := range live {
 		groups[c.n] = append(groups[c.n], c)
@@ -264,25 +281,52 @@ func (b *Batcher) flush() {
 		if chunks > b.stats.MaxBatchChunks {
 			b.stats.MaxBatchChunks = chunks
 		}
+		batcherBatchesTotal.Inc()
+		batcherBatchChunks.Observe(float64(chunks))
 	}
 	b.mu.Unlock()
 
 	for _, g := range groups {
-		go b.run(g)
+		b.runs.Add(1)
+		g := g
+		go func() {
+			defer b.runs.Done()
+			b.run(g)
+		}()
 	}
 }
 
 // run executes one coalesced model forward and demultiplexes the results.
+// A panicking forward must not strand its submitters: every call that has
+// not yet received its slice is answered with an error, so the detectors
+// waiting on them degrade those tables instead of hanging until their
+// request deadline.
 func (b *Batcher) run(g []*batchCall) {
+	answered := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		b.mu.Lock()
+		b.stats.Panics++
+		b.mu.Unlock()
+		batcherPanicsTotal.Inc()
+		err := fmt.Errorf("batcher: content inference panicked: %v", r)
+		for _, c := range g[answered:] {
+			c.out <- batchResult{err: err}
+		}
+	}()
 	all := make([]adtd.ContentRequest, 0, len(g))
 	for _, c := range g {
 		all = append(all, c.reqs...)
 	}
-	batch := b.model.PredictContentBatch(all, g[0].n)
+	batch := b.forward(all, g[0].n)
 	off := 0
 	for _, c := range g {
 		c.out <- batchResult{probs: batch[off : off+len(c.reqs)]}
 		off += len(c.reqs)
+		answered++
 	}
 }
 

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Service-level metric handles (DESIGN.md §9): per-request outcomes, the
+// scanned-column intrusiveness ratio, and the micro-batcher's activity.
+var (
+	detectRequestSeconds = obs.Default.LatencyHistogram("taste_detect_request_seconds")
+	detectScannedRatio   = obs.Default.Histogram("taste_detect_scanned_ratio", obs.RatioBuckets())
+	detectOutcomes       = map[string]*obs.Counter{
+		"ok":       obs.Default.Counter("taste_detect_requests_total", "outcome", "ok"),
+		"degraded": obs.Default.Counter("taste_detect_requests_total", "outcome", "degraded"),
+		"error":    obs.Default.Counter("taste_detect_requests_total", "outcome", "error"),
+	}
+
+	batcherQueueDelaySeconds    = obs.Default.LatencyHistogram("taste_batcher_queue_delay_seconds")
+	batcherBatchChunks          = obs.Default.Histogram("taste_batcher_batch_chunks", obs.ExpBuckets(1, 2, 8))
+	batcherSubmissionsTotal     = obs.Default.Counter("taste_batcher_submissions_total")
+	batcherBatchesTotal         = obs.Default.Counter("taste_batcher_batches_total")
+	batcherDeadlineDroppedTotal = obs.Default.Counter("taste_batcher_deadline_dropped_total")
+	batcherPanicsTotal          = obs.Default.Counter("taste_batcher_panics_total")
+)
+
+// syncGauges mirrors externally-owned ledgers (the latent cache, the
+// detector's fault stats) into gauges right before a scrape, so /metrics
+// carries them without hooking every cache operation.
+func (s *Service) syncGauges() {
+	cs := s.detector.Cache().Stats()
+	g := obs.Default.Gauge
+	g("taste_cache_hits").Set(int64(cs.Hits))
+	g("taste_cache_misses").Set(int64(cs.Misses))
+	g("taste_cache_evictions").Set(int64(cs.Evictions))
+	g("taste_cache_skipped_copies").Set(int64(cs.SkippedCopies))
+	g("taste_cache_size").Set(int64(s.detector.Cache().Len()))
+	fs := s.detector.FaultStats()
+	g("taste_detector_degraded_columns").Set(int64(fs.DegradedColumns))
+	if s.batcher != nil {
+		bs := s.batcher.Stats()
+		g("taste_batcher_coalesced_batches").Set(int64(bs.CoalescedBatches))
+		g("taste_batcher_max_batch_chunks").Set(int64(bs.MaxBatchChunks))
+	}
+}
+
+// MetricsHandler serves the process-wide metric registry in Prometheus text
+// format, refreshing the mirrored gauges on every scrape. Mounted at
+// /metrics on the service mux and on `tasted -debug-addr`.
+func (s *Service) MetricsHandler() http.Handler {
+	return obs.Handler(obs.Default, s.syncGauges)
+}
+
+// DebugHandler serves /metrics plus the net/http/pprof endpoints — the mux
+// behind `tasted -debug-addr`, kept off the tenant-facing listener.
+func (s *Service) DebugHandler() http.Handler {
+	return obs.DebugMux(obs.Default, s.syncGauges)
+}

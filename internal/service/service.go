@@ -12,6 +12,7 @@
 //	                            "deadline_ms": 0}
 //	POST /v1/feedback          {"database", "table", "column", "labels": [...]}
 //	GET  /v1/stats             accounting ledger + cache + fault statistics
+//	GET  /metrics              Prometheus text exposition of the obs registry
 //
 // A detect request with deadline_ms > 0 runs under a context deadline that
 // propagates into every prep and inference stage. When the deadline (or a
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metafeat"
+	"repro/internal/obs"
 	"repro/internal/simdb"
 )
 
@@ -108,6 +110,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/detect", s.handleDetect)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.Handle("/metrics", s.MetricsHandler())
 	return mux
 }
 
@@ -146,6 +149,10 @@ type DetectRequest struct {
 	PrepWorkers    int      `json:"prep_workers,omitempty"`
 	InferWorkers   int      `json:"infer_workers,omitempty"`
 	DeadlineMillis int64    `json:"deadline_ms,omitempty"`
+	// Trace requests the span tree of this detection inline in the
+	// response: per-stage timings for every table, relative to request
+	// start.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // DetectColumn is one column's outcome in a DetectResponse.
@@ -165,6 +172,10 @@ type DetectColumn struct {
 type DetectTable struct {
 	Table   string         `json:"table"`
 	Columns []DetectColumn `json:"columns"`
+	// Skipped marks a table the request deadline expired before reaching:
+	// no detection was attempted, Columns is empty, SkipReason explains.
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
 }
 
 // DetectResponse is the /v1/detect reply.
@@ -182,6 +193,9 @@ type DetectResponse struct {
 	// Retries counts transient-error retries spent on this request.
 	Retries int      `json:"retries"`
 	Errors  []string `json:"errors,omitempty"`
+	// Trace is the request's span tree, present when the request set
+	// "trace": true.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -189,22 +203,30 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	fail := func(status int, format string, args ...interface{}) {
+		detectOutcomes["error"].Inc()
+		writeError(w, status, format, args...)
+	}
 	var req DetectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		fail(http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.DeadlineMillis < 0 {
-		writeError(w, http.StatusBadRequest, "deadline_ms must be ≥ 0")
+		fail(http.StatusBadRequest, "deadline_ms must be ≥ 0")
 		return
 	}
 	server, ok := s.tenant(req.Database)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown database %q", req.Database)
+		fail(http.StatusNotFound, "unknown database %q", req.Database)
 		return
 	}
 
 	ctx := r.Context()
+	var root *obs.Span
+	if req.Trace {
+		ctx, root = obs.NewTrace(ctx, "detect "+req.Database)
+	}
 	deadline := time.Duration(req.DeadlineMillis) * time.Millisecond
 	if deadline == 0 {
 		deadline = s.defaultDeadline
@@ -217,6 +239,27 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 	resp := DetectResponse{Database: req.Database}
 	start := time.Now()
+	// finish stamps the duration and trace, records the request's outcome
+	// metrics, and writes the (always 200) response.
+	finish := func() {
+		elapsed := time.Since(start)
+		resp.DurationMillis = elapsed.Milliseconds()
+		if root != nil {
+			root.End()
+			node := root.Node()
+			resp.Trace = &node
+		}
+		outcome := "ok"
+		if resp.Degraded {
+			outcome = "degraded"
+		}
+		detectOutcomes[outcome].Inc()
+		detectRequestSeconds.ObserveDuration(elapsed)
+		if resp.TotalColumns > 0 {
+			detectScannedRatio.Observe(float64(resp.ScannedColumns) / float64(resp.TotalColumns))
+		}
+		writeJSON(w, http.StatusOK, &resp)
+	}
 	if len(req.Tables) == 0 {
 		mode := core.SequentialMode
 		if req.Pipelined {
@@ -236,11 +279,10 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 				// valid, fully degraded response — not a server error.
 				resp.Degraded = true
 				resp.Errors = append(resp.Errors, err.Error())
-				resp.DurationMillis = time.Since(start).Milliseconds()
-				writeJSON(w, http.StatusOK, resp)
+				finish()
 				return
 			}
-			writeError(w, http.StatusInternalServerError, "detection failed: %v", err)
+			fail(http.StatusInternalServerError, "detection failed: %v", err)
 			return
 		}
 		for _, tr := range rep.Tables {
@@ -264,16 +306,30 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, context.DeadlineExceeded) {
 				resp.Degraded = true
 				resp.Errors = append(resp.Errors, err.Error())
-				resp.DurationMillis = time.Since(start).Milliseconds()
-				writeJSON(w, http.StatusOK, resp)
+				finish()
 				return
 			}
-			writeError(w, http.StatusInternalServerError, "connect: %v", err)
+			fail(http.StatusInternalServerError, "connect: %v", err)
 			return
 		}
 		defer conn.Close()
-		before := s.detector.FaultStats()
-		for _, table := range req.Tables {
+		for i, table := range req.Tables {
+			if err := ctx.Err(); err != nil {
+				// The request context is dead: every further DetectTable
+				// call would fail identically, so stop issuing them and
+				// record the remaining tables as skipped rather than
+				// appending one duplicate error per table.
+				resp.Degraded = true
+				for _, rest := range req.Tables[i:] {
+					resp.Tables = append(resp.Tables, DetectTable{
+						Table: rest, Columns: []DetectColumn{},
+						Skipped: true, SkipReason: err.Error(),
+					})
+				}
+				resp.Errors = append(resp.Errors,
+					fmt.Sprintf("%v: skipped %d remaining tables", err, len(req.Tables)-i))
+				break
+			}
 			tr, err := s.detector.DetectTable(ctx, conn, req.Database, table)
 			if err != nil {
 				resp.Errors = append(resp.Errors, err.Error())
@@ -286,15 +342,16 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 			resp.TotalColumns += len(tr.Columns)
 			resp.ScannedColumns += tr.ScannedColumns
 			resp.DegradedColumns += tr.DegradedColumns()
+			// Per-call retry counts, not a before/after diff of the global
+			// fault ledger: concurrent requests would otherwise leak their
+			// retries into each other's responses.
+			resp.Retries += tr.Retries
 		}
-		after := s.detector.FaultStats()
-		resp.Retries = after.Retries - before.Retries
 		if resp.DegradedColumns > 0 {
 			resp.Degraded = true
 		}
 	}
-	resp.DurationMillis = time.Since(start).Milliseconds()
-	writeJSON(w, http.StatusOK, resp)
+	finish()
 }
 
 func toDetectTable(tr *core.TableResult) DetectTable {
@@ -406,6 +463,7 @@ type BatcherStatsResponse struct {
 	MaxBatchChunks   int   `json:"max_batch_chunks"`
 	QueueDelayMicros int64 `json:"queue_delay_us"`
 	DeadlineDropped  int   `json:"deadline_dropped"`
+	Panics           int   `json:"panics"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -440,6 +498,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			MaxBatchChunks:   bs.MaxBatchChunks,
 			QueueDelayMicros: bs.QueueDelay.Microseconds(),
 			DeadlineDropped:  bs.DeadlineDropped,
+			Panics:           bs.Panics,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -71,7 +71,9 @@ type AnalyzeOptions struct {
 // happens inside the database server, so the detection service pays only a
 // query round trip, not a per-row transfer; but the stats become part of the
 // metadata returned by TableMetadata afterwards.
-func (c *Conn) AnalyzeTable(ctx context.Context, table string, opts AnalyzeOptions) error {
+func (c *Conn) AnalyzeTable(ctx context.Context, table string, opts AnalyzeOptions) (err error) {
+	start := time.Now()
+	defer func() { observeOp("analyze", start, err) }()
 	if err := c.check(); err != nil {
 		return err
 	}

@@ -158,6 +158,7 @@ func (a *Accounting) addFault() {
 	a.mu.Lock()
 	a.Faults++
 	a.mu.Unlock()
+	faultsTotal.Inc()
 }
 
 // AddRetry records a client-side retry against this database, so the ledger
@@ -166,6 +167,7 @@ func (a *Accounting) AddRetry() {
 	a.mu.Lock()
 	a.Retries++
 	a.mu.Unlock()
+	retriesTotal.Inc()
 }
 
 func (a *Accounting) addScan(db, table string, cols []string, rows, cells, bytes int) {
@@ -287,7 +289,9 @@ func (s *Server) LoadTables(dbName string, tables []*corpus.Table) {
 // Connect opens a connection to the named database, paying the setup cost.
 // With a fault profile armed, the attempt may fail transiently after the
 // setup latency — exactly when a real TCP/TLS handshake times out.
-func (s *Server) Connect(ctx context.Context, dbName string) (*Conn, error) {
+func (s *Server) Connect(ctx context.Context, dbName string) (_ *Conn, err error) {
+	start := time.Now()
+	defer func() { observeOp("connect", start, err) }()
 	d := s.decide(opConnect, dbName)
 	if err := s.latency.sleep(ctx, scaleDur(s.latency.ConnectionSetup, d.slowFactor)); err != nil {
 		return nil, err
@@ -349,7 +353,9 @@ func (c *Conn) check() error {
 }
 
 // ListTables returns the table names in load order (one metadata query).
-func (c *Conn) ListTables(ctx context.Context) ([]string, error) {
+func (c *Conn) ListTables(ctx context.Context) (_ []string, err error) {
+	start := time.Now()
+	defer func() { observeOp("list_tables", start, err) }()
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -384,7 +390,9 @@ type TableMeta struct {
 // TableMetadata fetches schema metadata for a table — the SELECT * FROM
 // information_schema.columns of §3.2. It costs one query round trip and
 // never touches column content.
-func (c *Conn) TableMetadata(ctx context.Context, table string) (*TableMeta, error) {
+func (c *Conn) TableMetadata(ctx context.Context, table string) (_ *TableMeta, err error) {
+	start := time.Now()
+	defer func() { observeOp("table_metadata", start, err) }()
 	if err := c.check(); err != nil {
 		return nil, err
 	}
@@ -437,7 +445,9 @@ type ScanOptions struct {
 // accounting ledger as an intrusive operation. Under an armed FaultProfile
 // the scan may fail transiently up front, or drop mid-transfer after paying
 // part of the per-cell latency.
-func (c *Conn) ScanColumns(ctx context.Context, table string, cols []string, opts ScanOptions) (map[string][]string, error) {
+func (c *Conn) ScanColumns(ctx context.Context, table string, cols []string, opts ScanOptions) (_ map[string][]string, err error) {
+	start := time.Now()
+	defer func() { observeOp("scan", start, err) }()
 	if err := c.check(); err != nil {
 		return nil, err
 	}
