@@ -5,8 +5,10 @@ GO ?= go
 # Packages whose concurrency the race detector must vet: the tensor
 # runtime's worker pool + arena, the latent cache, the pipelined scheduler,
 # the fault-injecting simdb, the HTTP service with its cross-request
-# micro-batcher, and the lock-free metrics registry.
-RACE_PKGS = ./internal/tensor/... ./internal/adtd/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
+# micro-batcher, the lock-free metrics registry, and the data-parallel
+# training runtime with its gradient workers (plus the two model packages
+# whose multi-worker training tests exercise it).
+RACE_PKGS = ./internal/tensor/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
 
 .PHONY: build vet test race race-all fuzz ci bench bench-smoke metrics-smoke clean
 
@@ -41,11 +43,12 @@ ci: vet test race metrics-smoke
 race-all:
 	$(GO) test -race -timeout 45m $(RACE_PKGS) ./internal/core/...
 
-# bench runs the compute-runtime benchmark set and writes BENCH_1.json
-# (ns/op and allocs/op for the matmul kernels, attention forward, batched
-# Phase-2 inference, and end-to-end detection).
+# bench runs the compute-runtime benchmark set (BENCH_1.json: matmul
+# kernels, attention forward, batched Phase-2 inference, end-to-end
+# detection) and the training-runtime set (BENCH_5.json: sharded Adam and
+# one fine-tuning epoch, serial vs four gradient workers).
 bench:
-	scripts/bench.sh BENCH_1.json
+	scripts/bench.sh BENCH_1.json BENCH_5.json
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # value, but it keeps the benchmark code from rotting between full runs.
@@ -54,4 +57,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_1.json
+	rm -f BENCH_1.json BENCH_5.json

@@ -43,6 +43,8 @@ func main() {
 		tables       = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
 		seed         = flag.Int64("seed", 1, "corpus seed (must match the checkpoint)")
 		epochs       = flag.Int("epochs", 8, "training epochs when -train is set")
+		trainWorkers = flag.Int("train-workers", 1, "data-parallel gradient workers when -train is set (bit-reproducible per (seed, workers))")
+		gradAccum    = flag.Int("grad-accum", 1, "micro-batches accumulated per worker per optimizer step when -train is set")
 		prepWorkers  = flag.Int("prep-workers", autoMode.PrepWorkers, "TP1 pool size for pipelined detect requests")
 		inferWorkers = flag.Int("infer-workers", autoMode.InferWorkers, "TP2 pool size for pipelined detect requests")
 		parallelism  = flag.Int("parallelism", tensor.DefaultParallelism(), "worker goroutines for the sharded tensor kernels")
@@ -69,6 +71,8 @@ func main() {
 		cfg.Epochs = *epochs
 		cfg.LR, cfg.FinalLR = 1.5e-3, 4e-4
 		cfg.PosWeight = 6
+		cfg.Workers = *trainWorkers
+		cfg.GradAccum = *gradAccum
 		cfg.Log = os.Stderr
 		log.Printf("training model (%d epochs) …", cfg.Epochs)
 		if _, err := adtd.FineTune(model, ds.Train, cfg); err != nil {

@@ -29,6 +29,8 @@ func main() {
 		epochs    = flag.Int("epochs", 12, "fine-tuning epochs")
 		pretrain  = flag.Int("pretrain", 0, "MLM pre-training steps before fine-tuning (taste only)")
 		hist      = flag.Bool("histogram", false, "train the with-histogram variant (taste only)")
+		workers   = flag.Int("train-workers", 1, "data-parallel gradient workers (results are bit-reproducible per (seed, workers))")
+		gradAccum = flag.Int("grad-accum", 1, "micro-batches accumulated per worker per optimizer step")
 		out       = flag.String("o", "model.ckpt", "checkpoint output path")
 	)
 	flag.Parse()
@@ -62,6 +64,8 @@ func main() {
 		if *pretrain > 0 {
 			pcfg := adtd.DefaultPretrainConfig()
 			pcfg.Steps = *pretrain
+			pcfg.Workers = *workers
+			pcfg.GradAccum = *gradAccum
 			pcfg.Log = os.Stderr
 			if _, err := adtd.Pretrain(m, ds.Train, pcfg); err != nil {
 				log.Fatal(err)
@@ -75,6 +79,8 @@ func main() {
 		cfg.Cells = 6
 		cfg.ContentColumnsPerChunk = 4
 		cfg.WithStats = *hist
+		cfg.Workers = *workers
+		cfg.GradAccum = *gradAccum
 		cfg.Log = os.Stderr
 		if _, err := adtd.FineTune(m, ds.Train, cfg); err != nil {
 			log.Fatal(err)
@@ -94,6 +100,8 @@ func main() {
 		tcfg.LR, tcfg.FinalLR = 1.5e-3, 3e-4
 		tcfg.PosWeight = 6
 		tcfg.WeightDecay = 1e-4
+		tcfg.Workers = *workers
+		tcfg.GradAccum = *gradAccum
 		tcfg.Log = os.Stderr
 		if _, err := baselines.FineTune(m, ds.Train, tcfg); err != nil {
 			log.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metafeat"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/internal/train"
 )
 
 // PretrainConfig controls Masked Language Model pre-training over a
@@ -17,15 +18,22 @@ import (
 // Entity Recovery, which requires the entity links of the real WikiTable
 // dump; this reproduction uses MLM only (see DESIGN.md §1).
 type PretrainConfig struct {
-	// Steps is the number of optimizer steps (one table chunk per step).
+	// Steps is the number of MLM micro-batches (one table chunk per step).
 	Steps int
+	// Workers is the number of data-parallel gradient workers (≤0 → 1).
+	Workers int
+	// GradAccum accumulates this many steps per worker into each optimizer
+	// step (≤0 → 1).
+	GradAccum int
 	// LR is the Adam learning rate.
 	LR float64
 	// MaskProb is the fraction of tokens replaced by [MASK].
 	MaskProb float64
 	// MaxLen truncates pre-training sequences.
 	MaxLen int
-	// Seed drives masking and table selection.
+	// Seed drives masking and table selection. Both are keyed by step index
+	// (train.ItemRNG), so a step masks the same tokens no matter which
+	// worker runs it.
 	Seed int64
 	// Log, when non-nil, receives periodic loss lines.
 	Log io.Writer
@@ -38,7 +46,8 @@ func DefaultPretrainConfig() PretrainConfig {
 
 // Pretrain runs MLM over the given unlabeled tables. Each step serializes
 // one table (metadata plus a few cell values), masks a fraction of tokens,
-// and trains the shared encoder plus MLM head to recover them.
+// and trains the shared encoder plus MLM head to recover them. It returns
+// the mean MLM loss over the run (steps too short to mask are skipped).
 func Pretrain(m *Model, tables []*corpus.Table, cfg PretrainConfig) (float64, error) {
 	if len(tables) == 0 {
 		return 0, fmt.Errorf("adtd: no pre-training tables")
@@ -48,51 +57,70 @@ func Pretrain(m *Model, tables []*corpus.Table, cfg PretrainConfig) (float64, er
 	}
 	m.SetTrain()
 	defer m.SetEval()
-	opt := tensor.NewAdam(m.Params(), cfg.LR)
-	opt.ClipNorm = 1
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	maskID := m.Tok.MustID(tokenizer.MASK)
 
-	last := 0.0
-	window := 0.0
-	for step := 0; step < cfg.Steps; step++ {
-		t := tables[rng.Intn(len(tables))]
-		ids, segs := m.serializeForMLM(t, cfg.MaxLen)
-		if len(ids) < 4 {
-			continue
-		}
-		masked := append([]int(nil), ids...)
-		targets := make([]int, len(ids))
-		anyMasked := false
-		for i := range targets {
-			targets[i] = -1
-			if rng.Float64() < cfg.MaskProb {
-				targets[i] = ids[i]
-				masked[i] = maskID
-				anyMasked = true
+	spec := train.Spec{
+		Params: m.Params(),
+		Items:  cfg.Steps,
+		NewWorker: func(w int) (train.Worker, error) {
+			mm := m
+			if w > 0 {
+				var err error
+				if mm, err = m.trainingReplica(); err != nil {
+					return train.Worker{}, err
+				}
 			}
-		}
-		if !anyMasked {
-			i := rng.Intn(len(ids))
+			return train.Worker{
+				Params: mm.Params(),
+				Step: func(items []int, rng *rand.Rand) *tensor.Tensor {
+					return mm.mlmStep(tables, cfg, rng, maskID)
+				},
+			}, nil
+		},
+	}
+	return train.Run(spec, train.Config{
+		Epochs:    1,
+		Workers:   cfg.Workers,
+		GradAccum: cfg.GradAccum,
+		LR:        cfg.LR,
+		ClipNorm:  1,
+		Seed:      cfg.Seed,
+		Log:       cfg.Log,
+		LogPrefix: "adtd pretrain",
+		LogEvery:  100,
+	})
+}
+
+// mlmStep builds the MLM loss for one pre-training step: pick a table,
+// serialize it, mask a fraction of tokens, and predict them back. Returns
+// nil when the serialized table is too short to mask meaningfully.
+func (m *Model) mlmStep(tables []*corpus.Table, cfg PretrainConfig, rng *rand.Rand, maskID int) *tensor.Tensor {
+	t := tables[rng.Intn(len(tables))]
+	ids, segs := m.serializeForMLM(t, cfg.MaxLen)
+	if len(ids) < 4 {
+		return nil
+	}
+	masked := append([]int(nil), ids...)
+	targets := make([]int, len(ids))
+	anyMasked := false
+	for i := range targets {
+		targets[i] = -1
+		if rng.Float64() < cfg.MaskProb {
 			targets[i] = ids[i]
 			masked[i] = maskID
-		}
-		opt.ZeroGrads()
-		x := m.embed(masked, segs)
-		for _, b := range m.Blocks {
-			x = b.SelfForward(x, nil)
-		}
-		loss := tensor.CrossEntropyRows(m.MLMHead.Forward(x), targets)
-		loss.Backward()
-		opt.Step()
-		last = loss.Item()
-		window += last
-		if cfg.Log != nil && (step+1)%100 == 0 {
-			fmt.Fprintf(cfg.Log, "adtd pretrain step %d/%d: loss %.4f\n", step+1, cfg.Steps, window/100)
-			window = 0
+			anyMasked = true
 		}
 	}
-	return last, nil
+	if !anyMasked {
+		i := rng.Intn(len(ids))
+		targets[i] = ids[i]
+		masked[i] = maskID
+	}
+	x := m.embed(masked, segs)
+	for _, b := range m.Blocks {
+		x = b.SelfForward(x, nil)
+	}
+	return tensor.CrossEntropyRows(m.MLMHead.Forward(x), targets)
 }
 
 // serializeForMLM flattens a table into one token stream: table metadata,

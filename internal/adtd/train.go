@@ -3,12 +3,12 @@ package adtd
 import (
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 
 	"repro/internal/corpus"
 	"repro/internal/metafeat"
 	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 // TrainConfig controls fine-tuning (§6.1.3: on-premise training over the
@@ -16,6 +16,12 @@ import (
 type TrainConfig struct {
 	// Epochs over the training set (paper: 20; repro default: 4).
 	Epochs int
+	// Workers is the number of data-parallel gradient workers (≤0 → 1).
+	// See DESIGN.md §10 for the determinism contract.
+	Workers int
+	// GradAccum accumulates this many chunks per worker into each optimizer
+	// step (≤0 → 1).
+	GradAccum int
 	// LR is the initial Adam learning rate.
 	LR float64
 	// FinalLR, when positive, decays the learning rate exponentially from
@@ -40,7 +46,9 @@ type TrainConfig struct {
 	// UseAutoWeightedLoss selects §4.4's automatic weighting (true, the
 	// default configuration) or a fixed 50/50 combination (the ablation).
 	UseAutoWeightedLoss bool
-	// Seed drives shuffling and column sampling.
+	// Seed drives shuffling and column sampling. Sampling is keyed by
+	// chunk identity (train.ItemRNG), so results are independent of chunk
+	// processing order.
 	Seed int64
 	// Log, when non-nil, receives one line per epoch.
 	Log io.Writer
@@ -60,6 +68,47 @@ func DefaultTrainConfig() TrainConfig {
 	}
 }
 
+// trainChunk is one fine-tuning item: a table chunk plus per-column labels.
+type trainChunk struct {
+	info   *metafeat.TableInfo
+	labels [][]string
+}
+
+// buildTrainChunks splits labelled tables into training chunks
+// (§6.1.2 column splitting), carrying each column's labels along.
+func buildTrainChunks(tables []*corpus.Table, withStats bool, splitThreshold int) []trainChunk {
+	var chunks []trainChunk
+	for _, t := range tables {
+		info := metafeat.FromCorpusTable(t, withStats, 8)
+		labelOf := make(map[*metafeat.ColumnInfo][]string, len(t.Columns))
+		for i, c := range info.Columns {
+			labelOf[c] = t.Columns[i].Labels
+		}
+		for _, part := range info.Split(splitThreshold) {
+			ch := trainChunk{info: part}
+			for _, c := range part.Columns {
+				ch.labels = append(ch.labels, labelOf[c])
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+	return chunks
+}
+
+// trainingReplica builds a worker-private model whose parameters alias the
+// canonical model's weights (shared, read-only during a micro-batch group)
+// but own their gradient state, so concurrent backward passes never write
+// the same buffer.
+func (m *Model) trainingReplica() (*Model, error) {
+	r, err := New(m.Cfg, m.Tok, m.Types, 0)
+	if err != nil {
+		return nil, err
+	}
+	tensor.AliasData(r.Params(), m.Params())
+	r.SetTrain()
+	return r, nil
+}
+
 // FineTune trains the full ADTD model (both towers jointly, multi-task) on
 // labelled corpus tables. It returns the mean total loss of the final epoch.
 func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
@@ -69,55 +118,46 @@ func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error
 	if cfg.Cells <= 0 {
 		cfg.Cells = 10
 	}
-	m.SetTrain()
-	defer m.SetEval()
-	opt := tensor.NewAdam(m.Params(), cfg.LR)
-	opt.ClipNorm = 1
-	opt.WeightDecay = cfg.WeightDecay
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	type chunk struct {
-		info   *metafeat.TableInfo
-		labels [][]string
-	}
-	var chunks []chunk
-	for _, t := range tables {
-		info := metafeat.FromCorpusTable(t, cfg.WithStats, 8)
-		labelOf := make(map[*metafeat.ColumnInfo][]string, len(t.Columns))
-		for i, c := range info.Columns {
-			labelOf[c] = t.Columns[i].Labels
-		}
-		for _, part := range info.Split(cfg.SplitThreshold) {
-			ch := chunk{info: part}
-			for _, c := range part.Columns {
-				ch.labels = append(ch.labels, labelOf[c])
-			}
-			chunks = append(chunks, ch)
-		}
-	}
+	chunks := buildTrainChunks(tables, cfg.WithStats, cfg.SplitThreshold)
 	if len(chunks) == 0 {
 		return 0, fmt.Errorf("adtd: no training tables")
 	}
+	m.SetTrain()
+	defer m.SetEval()
 
-	lastEpochLoss := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		opt.LR = epochLR(cfg.LR, cfg.FinalLR, epoch, cfg.Epochs)
-		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
-		total := 0.0
-		for _, ch := range chunks {
-			opt.ZeroGrads()
-			loss := m.trainStep(ch.info, ch.labels, cfg, rng)
-			loss.Backward()
-			opt.Step()
-			total += loss.Item()
-			tensor.ReleaseGraph(loss)
-		}
-		lastEpochLoss = total / float64(len(chunks))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "adtd fine-tune epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, lastEpochLoss)
-		}
+	spec := train.Spec{
+		Params: m.Params(),
+		Items:  len(chunks),
+		NewWorker: func(w int) (train.Worker, error) {
+			mm := m
+			if w > 0 {
+				var err error
+				if mm, err = m.trainingReplica(); err != nil {
+					return train.Worker{}, err
+				}
+			}
+			return train.Worker{
+				Params: mm.Params(),
+				Step: func(items []int, rng *rand.Rand) *tensor.Tensor {
+					ch := chunks[items[0]]
+					return mm.trainStep(ch.info, ch.labels, cfg, rng)
+				},
+			}, nil
+		},
 	}
-	return lastEpochLoss, nil
+	return train.Run(spec, train.Config{
+		Epochs:      cfg.Epochs,
+		Workers:     cfg.Workers,
+		GradAccum:   cfg.GradAccum,
+		Shuffle:     true,
+		LR:          cfg.LR,
+		FinalLR:     cfg.FinalLR,
+		ClipNorm:    1,
+		WeightDecay: cfg.WeightDecay,
+		Seed:        cfg.Seed,
+		Log:         cfg.Log,
+		LogPrefix:   "adtd fine-tune",
+	})
 }
 
 // trainStep builds the multi-task loss for one table chunk.
@@ -207,11 +247,8 @@ func (m *Model) ApplyFeedback(examples []FeedbackExample, lr float64, steps int)
 }
 
 // epochLR interpolates the learning rate exponentially from lr to finalLR
-// (when set) across epochs.
+// (when set) across epochs. Kept as a thin wrapper over the training
+// runtime's schedule so existing call sites and tests stay stable.
 func epochLR(lr, finalLR float64, epoch, epochs int) float64 {
-	if finalLR <= 0 || finalLR >= lr || epochs <= 1 {
-		return lr
-	}
-	frac := float64(epoch) / float64(epochs-1)
-	return lr * math.Pow(finalLR/lr, frac)
+	return train.EpochLR(lr, finalLR, epoch, epochs)
 }

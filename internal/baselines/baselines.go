@@ -32,6 +32,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/internal/train"
 )
 
 // Variant selects the baseline architecture.
@@ -294,7 +295,11 @@ func (m *Model) Predict(t *metafeat.TableInfo, n int, withContent bool) [][]floa
 // TrainConfig mirrors adtd.TrainConfig for the baselines.
 type TrainConfig struct {
 	Epochs int
-	LR     float64
+	// Workers is the number of data-parallel gradient workers (≤0 → 1);
+	// GradAccum accumulates chunks per worker into each optimizer step.
+	Workers   int
+	GradAccum int
+	LR        float64
 	// FinalLR, when positive, decays the learning rate exponentially from
 	// LR to FinalLR across the epochs.
 	FinalLR        float64
@@ -311,6 +316,52 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 4, LR: 1e-3, PosWeight: 4, SplitThreshold: 20, Cells: 10, Seed: 1}
 }
 
+// chunk is one fine-tuning item: a table chunk plus per-column labels.
+type chunk struct {
+	info   *metafeat.TableInfo
+	labels [][]string
+}
+
+// buildChunks splits labelled tables into training chunks.
+func buildChunks(tables []*corpus.Table, splitThreshold int) []chunk {
+	var chunks []chunk
+	for _, t := range tables {
+		info := metafeat.FromCorpusTable(t, false, 0)
+		labelOf := make(map[*metafeat.ColumnInfo][]string, len(t.Columns))
+		for i, c := range info.Columns {
+			labelOf[c] = t.Columns[i].Labels
+		}
+		for _, part := range info.Split(splitThreshold) {
+			ch := chunk{info: part}
+			for _, c := range part.Columns {
+				ch.labels = append(ch.labels, labelOf[c])
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+	return chunks
+}
+
+// chunkLoss builds the weighted BCE loss for one table chunk.
+func (m *Model) chunkLoss(ch chunk, cells int, posWeight float64) *tensor.Tensor {
+	in := m.buildInput(ch.info, cells, true)
+	logits := m.forward(in)
+	targets := make([][]float64, len(in.anchors))
+	for i := range in.anchors {
+		targets[i] = m.Types.Targets(ch.labels[i])
+	}
+	return tensor.WeightedBCEWithLogits(logits, tensor.FromRows(targets), posWeight)
+}
+
+// trainingReplica builds a worker-private model aliasing the canonical
+// weights but owning its gradient state (see DESIGN.md §10).
+func (m *Model) trainingReplica() *Model {
+	r := New(m.Variant, m.Cfg, m.Tok, m.Types, 0)
+	tensor.AliasData(r.Params(), m.Params())
+	r.SetTrain()
+	return r
+}
+
 // FineTune trains the baseline on labelled corpus tables (content included,
 // as both baselines require). Returns the mean loss of the final epoch.
 func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
@@ -323,65 +374,37 @@ func FineTune(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error
 	if cfg.Cells <= 0 {
 		cfg.Cells = 10
 	}
+	chunks := buildChunks(tables, cfg.SplitThreshold)
 	m.SetTrain()
 	defer m.SetEval()
-	opt := tensor.NewAdam(m.Params(), cfg.LR)
-	opt.ClipNorm = 1
-	opt.WeightDecay = cfg.WeightDecay
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	type chunk struct {
-		info   *metafeat.TableInfo
-		labels [][]string
-	}
-	var chunks []chunk
-	for _, t := range tables {
-		info := metafeat.FromCorpusTable(t, false, 0)
-		labelOf := make(map[*metafeat.ColumnInfo][]string, len(t.Columns))
-		for i, c := range info.Columns {
-			labelOf[c] = t.Columns[i].Labels
-		}
-		for _, part := range info.Split(cfg.SplitThreshold) {
-			ch := chunk{info: part}
-			for _, c := range part.Columns {
-				ch.labels = append(ch.labels, labelOf[c])
+	spec := train.Spec{
+		Params: m.Params(),
+		Items:  len(chunks),
+		NewWorker: func(w int) (train.Worker, error) {
+			mm := m
+			if w > 0 {
+				mm = m.trainingReplica()
 			}
-			chunks = append(chunks, ch)
-		}
+			return train.Worker{
+				Params: mm.Params(),
+				Step: func(items []int, rng *rand.Rand) *tensor.Tensor {
+					return mm.chunkLoss(chunks[items[0]], cfg.Cells, cfg.PosWeight)
+				},
+			}, nil
+		},
 	}
-
-	last := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		opt.LR = epochLR(cfg.LR, cfg.FinalLR, epoch, cfg.Epochs)
-		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
-		total := 0.0
-		for _, ch := range chunks {
-			opt.ZeroGrads()
-			in := m.buildInput(ch.info, cfg.Cells, true)
-			logits := m.forward(in)
-			targets := make([][]float64, len(in.anchors))
-			for i := range in.anchors {
-				targets[i] = m.Types.Targets(ch.labels[i])
-			}
-			loss := tensor.WeightedBCEWithLogits(logits, tensor.FromRows(targets), cfg.PosWeight)
-			loss.Backward()
-			opt.Step()
-			total += loss.Item()
-		}
-		last = total / float64(len(chunks))
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "%s fine-tune epoch %d/%d: loss %.4f\n", m.Variant, epoch+1, cfg.Epochs, last)
-		}
-	}
-	return last, nil
-}
-
-// epochLR interpolates the learning rate exponentially from lr to finalLR
-// (when set) across epochs.
-func epochLR(lr, finalLR float64, epoch, epochs int) float64 {
-	if finalLR <= 0 || finalLR >= lr || epochs <= 1 {
-		return lr
-	}
-	frac := float64(epoch) / float64(epochs-1)
-	return lr * math.Pow(finalLR/lr, frac)
+	return train.Run(spec, train.Config{
+		Epochs:      cfg.Epochs,
+		Workers:     cfg.Workers,
+		GradAccum:   cfg.GradAccum,
+		Shuffle:     true,
+		LR:          cfg.LR,
+		FinalLR:     cfg.FinalLR,
+		ClipNorm:    1,
+		WeightDecay: cfg.WeightDecay,
+		Seed:        cfg.Seed,
+		Log:         cfg.Log,
+		LogPrefix:   fmt.Sprintf("%s fine-tune", m.Variant),
+	})
 }

@@ -40,7 +40,7 @@ func trainedModel(t *testing.T) (*adtd.Model, *corpus.Dataset) {
 			return
 		}
 		tcfg := adtd.DefaultTrainConfig()
-		tcfg.Epochs = 10
+		tcfg.Epochs = 14
 		tcfg.LR, tcfg.FinalLR = 1.5e-3, 4e-4
 		tcfg.PosWeight = 6
 		tcfg.WeightDecay = 1e-4

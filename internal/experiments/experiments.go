@@ -57,6 +57,12 @@ type Config struct {
 	// timing experiments; 0 keeps the paper's default of 2 (§6.3).
 	PrepWorkers  int
 	InferWorkers int
+	// TrainWorkers/GradAccum configure the training runtime for every
+	// model the suite trains (internal/train); 0 means 1. Accuracy results
+	// are bit-reproducible per (Seed, TrainWorkers), not across worker
+	// counts (DESIGN.md §10).
+	TrainWorkers int
+	GradAccum    int
 	// Log receives progress lines (nil silences).
 	Log io.Writer
 }
@@ -157,6 +163,8 @@ func (s *Suite) tasteTrainConfig(epochs int, withStats bool) adtd.TrainConfig {
 	cfg.Cells = 6
 	cfg.ContentColumnsPerChunk = 4
 	cfg.WithStats = withStats
+	cfg.Workers = s.Cfg.TrainWorkers
+	cfg.GradAccum = s.Cfg.GradAccum
 	cfg.Log = s.Cfg.Log
 	return cfg
 }
@@ -217,6 +225,8 @@ func (s *Suite) buildTasteWith(key string, ds *corpus.Dataset, mcfg adtd.Config,
 	if pretrain && s.Cfg.PretrainSteps > 0 {
 		pcfg := adtd.DefaultPretrainConfig()
 		pcfg.Steps = s.Cfg.PretrainSteps
+		pcfg.Workers = s.Cfg.TrainWorkers
+		pcfg.GradAccum = s.Cfg.GradAccum
 		pcfg.Log = s.Cfg.Log
 		s.logf("experiments: pre-training %s (%d MLM steps)", key, pcfg.Steps)
 		if _, err := adtd.Pretrain(m, ds.Train, pcfg); err != nil {
@@ -344,6 +354,8 @@ func (s *Suite) BaselineModel(v baselines.Variant, dsName string) *baselines.Mod
 	// length and the baselines put full content in one sequence.
 	// Evaluation still splits at the paper default l=20.
 	tcfg.SplitThreshold = 10
+	tcfg.Workers = s.Cfg.TrainWorkers
+	tcfg.GradAccum = s.Cfg.GradAccum
 	tcfg.Log = s.Cfg.Log
 	s.logf("experiments: fine-tuning %s (%d epochs)", key, tcfg.Epochs)
 	if _, err := baselines.FineTune(m, ds.Train, tcfg); err != nil {

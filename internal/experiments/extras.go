@@ -78,6 +78,8 @@ func (s *Suite) runSherlock(dsName string) *RunResult {
 	types := adtd.NewTypeSpace(ds.Registry.Names())
 	model := sherlock.New(types, 96, s.Cfg.Seed)
 	cfg := sherlock.DefaultTrainConfig()
+	cfg.Workers = s.Cfg.TrainWorkers
+	cfg.GradAccum = s.Cfg.GradAccum
 	cfg.Log = s.Cfg.Log
 	if _, err := sherlock.Train(model, ds.Train, cfg); err != nil {
 		panic(fmt.Sprintf("experiments: sherlock: %v", err))

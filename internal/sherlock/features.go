@@ -176,10 +176,14 @@ func entropy(values []string) float64 {
 	if len(counts) <= 1 {
 		return 0
 	}
+	// Iterate in sorted key order: map iteration order varies run to run,
+	// and floating-point summation order must not — Extract feeds training,
+	// whose determinism contract (DESIGN.md §10) requires bit-identical
+	// features for identical inputs.
 	h := 0.0
 	n := float64(len(values))
-	for _, c := range counts {
-		p := float64(c) / n
+	for _, k := range sortedKeys(counts) {
+		p := float64(counts[k]) / n
 		h -= p * math.Log2(p)
 	}
 	return h / math.Log2(float64(len(counts)))

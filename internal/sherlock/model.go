@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 // Model is the Sherlock-style classifier: a two-hidden-layer feed-forward
@@ -77,7 +78,11 @@ func (m *Model) PredictColumn(values []string) []float64 {
 
 // TrainConfig controls training.
 type TrainConfig struct {
-	Epochs    int
+	Epochs int
+	// Workers is the number of data-parallel gradient workers (≤0 → 1);
+	// GradAccum accumulates batches per worker into each optimizer step.
+	Workers   int
+	GradAccum int
 	LR        float64
 	PosWeight float64
 	Cells     int // values sampled per column
@@ -91,15 +96,37 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 100, LR: 2e-3, PosWeight: 6, Cells: 30, Batch: 64, Seed: 1}
 }
 
+// example is one training item: a feature vector and its multi-label target.
+type example struct {
+	features []float64
+	target   []float64
+}
+
+// batchLoss builds the weighted BCE loss for one mini-batch of examples.
+func (m *Model) batchLoss(examples []example, items []int, posWeight float64) *tensor.Tensor {
+	feats := make([][]float64, 0, len(items))
+	targets := make([][]float64, 0, len(items))
+	for _, it := range items {
+		feats = append(feats, examples[it].features)
+		targets = append(targets, examples[it].target)
+	}
+	return tensor.WeightedBCEWithLogits(m.forward(tensor.FromRows(feats)), tensor.FromRows(targets), posWeight)
+}
+
+// trainingReplica builds a worker-private model aliasing the canonical
+// weights but owning its gradient state (see DESIGN.md §10).
+func (m *Model) trainingReplica() *Model {
+	r := New(m.Types, m.l1.Out(), 0)
+	tensor.AliasData(r.Params(), m.Params())
+	r.SetTrain()
+	return r
+}
+
 // Train fits the model on labelled corpus tables. Returns the final mean
 // epoch loss.
 func Train(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
 	if cfg.Epochs <= 0 || len(tables) == 0 {
 		return 0, fmt.Errorf("sherlock: need tables and positive epochs")
-	}
-	type example struct {
-		features []float64
-		target   []float64
 	}
 	var examples []example
 	for _, t := range tables {
@@ -116,35 +143,33 @@ func Train(m *Model, tables []*corpus.Table, cfg TrainConfig) (float64, error) {
 	}
 	m.SetTrain()
 	defer m.SetEval()
-	opt := tensor.NewAdam(m.Params(), cfg.LR)
-	opt.ClipNorm = 1
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	last := 0.0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(len(examples), func(i, j int) { examples[i], examples[j] = examples[j], examples[i] })
-		total, batches := 0.0, 0
-		for start := 0; start < len(examples); start += cfg.Batch {
-			end := start + cfg.Batch
-			if end > len(examples) {
-				end = len(examples)
+
+	spec := train.Spec{
+		Params: m.Params(),
+		Items:  len(examples),
+		NewWorker: func(w int) (train.Worker, error) {
+			mm := m
+			if w > 0 {
+				mm = m.trainingReplica()
 			}
-			feats := make([][]float64, 0, end-start)
-			targets := make([][]float64, 0, end-start)
-			for _, ex := range examples[start:end] {
-				feats = append(feats, ex.features)
-				targets = append(targets, ex.target)
-			}
-			opt.ZeroGrads()
-			loss := tensor.WeightedBCEWithLogits(m.forward(tensor.FromRows(feats)), tensor.FromRows(targets), cfg.PosWeight)
-			loss.Backward()
-			opt.Step()
-			total += loss.Item()
-			batches++
-		}
-		last = total / float64(batches)
-		if cfg.Log != nil {
-			fmt.Fprintf(cfg.Log, "sherlock epoch %d/%d: loss %.4f\n", epoch+1, cfg.Epochs, last)
-		}
+			return train.Worker{
+				Params: mm.Params(),
+				Step: func(items []int, rng *rand.Rand) *tensor.Tensor {
+					return mm.batchLoss(examples, items, cfg.PosWeight)
+				},
+			}, nil
+		},
 	}
-	return last, nil
+	return train.Run(spec, train.Config{
+		Epochs:     cfg.Epochs,
+		Workers:    cfg.Workers,
+		GradAccum:  cfg.GradAccum,
+		BatchItems: cfg.Batch,
+		Shuffle:    true,
+		LR:         cfg.LR,
+		ClipNorm:   1,
+		Seed:       cfg.Seed,
+		Log:        cfg.Log,
+		LogPrefix:  "sherlock",
+	})
 }

@@ -1,0 +1,104 @@
+package sherlock
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adtd"
+	"repro/internal/corpus"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func twinModels(t *testing.T) (*Model, *Model, *corpus.Dataset) {
+	t.Helper()
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(10), 1)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+	return New(types, 32, 3), New(types, 32, 3), ds
+}
+
+func requireSameParams(t *testing.T, a, b *Model, what string) {
+	t.Helper()
+	ap, bp := a.Params(), b.Params()
+	for i := range ap {
+		for j := range ap[i].Data {
+			if ap[i].Data[j] != bp[i].Data[j] {
+				t.Fatalf("%s: param %d elem %d differs: %v vs %v", what, i, j, ap[i].Data[j], bp[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestTrainWorkers1BitExactVsSerial pins the serial-equivalence contract for
+// the Sherlock loop, which is the only batched (BatchItems>1) caller.
+func TestTrainWorkers1BitExactVsSerial(t *testing.T) {
+	serial, trained, ds := twinModels(t)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 3
+	cfg.Batch = 8
+	cfg.Cells = 6
+	cfg.Seed = 9
+
+	// Test-local serial reference over the same example construction.
+	var examples []example
+	for _, tb := range ds.Train {
+		for _, c := range tb.Columns {
+			vals := c.Values
+			if len(vals) > cfg.Cells {
+				vals = vals[:cfg.Cells]
+			}
+			examples = append(examples, example{
+				features: Extract(vals),
+				target:   serial.Types.Targets(c.Labels),
+			})
+		}
+	}
+	serial.SetTrain()
+	opt := tensor.NewAdam(serial.Params(), cfg.LR)
+	opt.ClipNorm = 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := train.EpochPerm(cfg.Seed, epoch, len(examples))
+		for lo := 0; lo < len(order); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(order) {
+				hi = len(order)
+			}
+			opt.ZeroGrads()
+			loss := serial.batchLoss(examples, order[lo:hi], cfg.PosWeight)
+			loss.Backward()
+			opt.Step()
+			tensor.ReleaseGraph(loss)
+		}
+	}
+	serial.SetEval()
+
+	cfg.Workers = 1
+	if _, err := Train(trained, ds.Train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	requireSameParams(t, trained, serial, "sherlock workers=1 vs serial")
+}
+
+// TestTrainMultiWorkerDeterministic runs multi-worker training twice (also
+// exercised under -race) and requires identical final parameters.
+func TestTrainMultiWorkerDeterministic(t *testing.T) {
+	a, b, ds := twinModels(t)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	cfg.Batch = 8
+	cfg.Cells = 6
+	cfg.Workers = 3
+	cfg.GradAccum = 2
+	lossA, err := Train(a, ds.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossB, err := Train(b, ds.Train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossA != lossB || math.IsNaN(lossA) {
+		t.Fatalf("multi-worker losses differ or NaN: %v vs %v", lossA, lossB)
+	}
+	requireSameParams(t, a, b, "sherlock identical (seed,workers) runs")
+}

@@ -141,18 +141,28 @@ func BenchmarkTrainStepRelease(b *testing.B) {
 }
 
 func BenchmarkAdamStep(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	params := []*Tensor{Param(256, 64), Param(1, 64)}
-	for _, p := range params {
-		XavierUniform(p, rng)
-		p.ensureGrad()
-		for i := range p.Grad {
-			p.Grad[i] = rng.NormFloat64() * 0.01
-		}
-	}
-	opt := NewAdam(params, 1e-3)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		opt.Step()
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			defer SetParallelism(DefaultParallelism())
+			SetParallelism(par)
+			rng := rand.New(rand.NewSource(1))
+			params := []*Tensor{Param(3000, 64), Param(64, 3000), Param(256, 64), Param(1, 64)}
+			elems := 0
+			for _, p := range params {
+				XavierUniform(p, rng)
+				p.ensureGrad()
+				for i := range p.Grad {
+					p.Grad[i] = rng.NormFloat64() * 0.01
+				}
+				elems += len(p.Data)
+			}
+			opt := NewAdam(params, 1e-3)
+			opt.ClipNorm = 1
+			b.SetBytes(int64(elems * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt.Step()
+			}
+		})
 	}
 }

@@ -12,9 +12,27 @@ type Optimizer interface {
 	ZeroGrads()
 }
 
+// adamMulAddsPerElem is the per-element cost estimate fed to the runtime's
+// sharding heuristic: one Adam element touches m, v, grad and data with a
+// sqrt, worth roughly eight scalar multiply-adds.
+const adamMulAddsPerElem = 8
+
+// normChunkElems is the block size of the global-norm reduction: gradients
+// are reduced in fixed 4096-element chunk partials combined in chunk order
+// (per parameter, parameters in order), so the summation order — and hence
+// the bit pattern of the norm — is independent of how many workers computed
+// the partials.
+const normChunkElems = 1 << 12
+
 // Adam implements the Adam optimizer (Kingma & Ba) with optional decoupled
 // weight decay (AdamW) and global-norm gradient clipping, the configuration
 // used to fine-tune all models in this reproduction.
+//
+// The elementwise update, the gradient-clip rescale and ZeroGrads shard
+// large parameters across the runtime worker pool (with the same
+// small-size sequential fallback as the matmul kernels); the global-norm
+// reduction uses a fixed blocked summation order so the parallel and
+// sequential paths agree bitwise.
 type Adam struct {
 	LR          float64
 	Beta1       float64
@@ -28,6 +46,10 @@ type Adam struct {
 	params []*Tensor
 	m, v   [][]float64
 	t      int
+
+	lastNorm float64
+	chunks   [][]float64 // scratch: per-chunk gradient views for the norm
+	partials []float64   // scratch: per-chunk sums of squares
 }
 
 // NewAdam creates an Adam optimizer over params with standard defaults
@@ -46,6 +68,11 @@ func NewAdam(params []*Tensor, lr float64) *Adam {
 // Params returns the managed parameter tensors.
 func (a *Adam) Params() []*Tensor { return a.params }
 
+// LastGradNorm returns the pre-clip global gradient L2 norm computed by the
+// most recent Step, or zero if no clipping Step has run yet. Only meaningful
+// when ClipNorm > 0 (the norm is not computed otherwise).
+func (a *Adam) LastGradNorm() float64 { return a.lastNorm }
+
 // Step applies one Adam update.
 func (a *Adam) Step() {
 	a.t++
@@ -59,45 +86,76 @@ func (a *Adam) Step() {
 			continue
 		}
 		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad {
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			mh := m[j] / bc1
-			vh := v[j] / bc2
-			upd := a.LR * mh / (math.Sqrt(vh) + a.Eps)
-			if a.WeightDecay > 0 {
-				upd += a.LR * a.WeightDecay * p.Data[j]
+		grad, data := p.Grad, p.Data
+		parallelRows(len(grad), adamMulAddsPerElem, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				g := grad[j]
+				m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+				v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+				mh := m[j] / bc1
+				vh := v[j] / bc2
+				upd := a.LR * mh / (math.Sqrt(vh) + a.Eps)
+				if a.WeightDecay > 0 {
+					upd += a.LR * a.WeightDecay * data[j]
+				}
+				data[j] -= upd
 			}
-			p.Data[j] -= upd
+		})
+	}
+}
+
+// gradNorm computes the global L2 norm of all parameter gradients. Each
+// gradient is reduced in normChunkElems-sized partial sums and the partials
+// are combined in a fixed order (chunk order within a parameter, parameters
+// in order), so the result is bitwise identical whether the partials were
+// computed sequentially or on the worker pool.
+func (a *Adam) gradNorm() float64 {
+	chunks := a.chunks[:0]
+	for _, p := range a.params {
+		if p.Grad == nil {
+			continue
+		}
+		g := p.Grad
+		for lo := 0; lo < len(g); lo += normChunkElems {
+			hi := lo + normChunkElems
+			if hi > len(g) {
+				hi = len(g)
+			}
+			chunks = append(chunks, g[lo:hi])
 		}
 	}
+	a.chunks = chunks
+	if cap(a.partials) < len(chunks) {
+		a.partials = make([]float64, len(chunks))
+	}
+	partials := a.partials[:len(chunks)]
+	parallelRows(len(chunks), normChunkElems, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for _, g := range chunks[i] {
+				s += g * g
+			}
+			partials[i] = s
+		}
+	})
+	total := 0.0
+	for _, s := range partials {
+		total += s
+	}
+	return math.Sqrt(total)
 }
 
 func (a *Adam) clip() {
-	total := 0.0
-	for _, p := range a.params {
-		for _, g := range p.Grad {
-			total += g * g
-		}
-	}
-	norm := math.Sqrt(total)
+	norm := a.gradNorm()
+	a.lastNorm = norm
 	if norm <= a.ClipNorm || norm == 0 {
 		return
 	}
-	scale := a.ClipNorm / norm
-	for _, p := range a.params {
-		for j := range p.Grad {
-			p.Grad[j] *= scale
-		}
-	}
+	ScaleGrads(a.params, a.ClipNorm/norm)
 }
 
 // ZeroGrads clears all parameter gradients.
-func (a *Adam) ZeroGrads() {
-	for _, p := range a.params {
-		p.ZeroGrad()
-	}
-}
+func (a *Adam) ZeroGrads() { ZeroGrads(a.params) }
 
 // SGD is a plain stochastic-gradient-descent optimizer with optional
 // momentum; kept as a baseline and for the lightweight online feedback

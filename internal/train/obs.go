@@ -1,0 +1,27 @@
+package train
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Training-runtime metrics (DESIGN.md §10): throughput counters, step
+// latency, per-epoch loss, pre-clip gradient norms, and utilization gauges
+// for the gradient workers.
+var (
+	mOptSteps     = obs.Default.Counter("taste_train_optimizer_steps_total")
+	mMicrobatches = obs.Default.Counter("taste_train_microbatches_total")
+	mEpochs       = obs.Default.Counter("taste_train_epochs_total")
+	mStepSeconds  = obs.Default.LatencyHistogram("taste_train_step_seconds")
+	mEpochLoss    = obs.Default.Histogram("taste_train_epoch_loss", obs.ExpBuckets(1e-4, 2, 24))
+	mGradNorm     = obs.Default.Histogram("taste_train_grad_norm", obs.ExpBuckets(1e-3, 2, 24))
+	mStepsPerSec  = obs.Default.Gauge("taste_train_steps_per_second_milli")
+)
+
+// workerUtil returns the utilization gauge for one gradient worker: the
+// fraction of the last epoch's wall time the worker spent in Step/Backward,
+// in permille.
+func workerUtil(w int) *obs.Gauge {
+	return obs.Default.Gauge("taste_train_worker_utilization_permille", "worker", strconv.Itoa(w))
+}
