@@ -8,7 +8,7 @@ GO ?= go
 # micro-batcher, the lock-free metrics registry, and the data-parallel
 # training runtime with its gradient workers (plus the two model packages
 # whose multi-worker training tests exercise it).
-RACE_PKGS = ./internal/tensor/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
+RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
 
 .PHONY: build vet test race race-all fuzz ci bench bench-smoke metrics-smoke clean
 
@@ -45,16 +45,21 @@ race-all:
 
 # bench runs the compute-runtime benchmark set (BENCH_1.json: matmul
 # kernels, attention forward, batched Phase-2 inference, end-to-end
-# detection) and the training-runtime set (BENCH_5.json: sharded Adam and
-# one fine-tuning epoch, serial vs four gradient workers).
+# detection), the training-runtime set (BENCH_5.json: sharded Adam and
+# one fine-tuning epoch, serial vs four gradient workers), and the
+# quantized-inference set (BENCH_6.json: int8 kernels back-to-back with
+# their fp64 counterparts across the GOMAXPROCS matrix).
 bench:
-	scripts/bench.sh BENCH_1.json BENCH_5.json
+	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # value, but it keeps the benchmark code from rotting between full runs.
+# The second pass repeats one quantized pair so the int8 kernels are
+# exercised even where the default run skips them.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench='BenchmarkQuantAttentionCore128$$|BenchmarkLinearQuantInto128x64x192$$' -benchtime=1x ./internal/tensor/
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_1.json BENCH_5.json
+	rm -f BENCH_1.json BENCH_5.json BENCH_6.json

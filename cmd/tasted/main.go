@@ -53,9 +53,14 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 8, "max table chunks per coalesced Phase-2 model forward")
 		faultProb    = flag.Float64("fault-prob", 0, "demo tenant: probability of a transient fault per scan/query/connect (chaos mode)")
 		faultSeed    = flag.Int64("fault-seed", 1, "demo tenant: fault-injection seed")
+		quantize     = flag.Bool("quantize", false, "default /v1/detect requests to int8 quantized inference (lossy; requests can override via \"quantize\"; no-op without AVX2)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*parallelism)
+	tensor.SetQuantize(*quantize)
+	if *quantize && !tensor.QuantizeAvailable() {
+		log.Printf("tasted: -quantize set but the CPU lacks the required SIMD support; serving fp64")
+	}
 
 	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(*tables), *seed)
 	tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 4000)

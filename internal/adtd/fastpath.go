@@ -15,13 +15,18 @@ import (
 	"repro/internal/tensor"
 )
 
-// invalidatePacks drops every attention layer's packed projection cache;
-// called whenever parameters may have changed in place (grad-mode flips,
-// checkpoint loads) so the next fast forward repacks fresh weights.
+// invalidatePacks drops every cached fast-path weight pack — the fp64
+// attention projections and all int8 quantized packs (attention, FF and
+// classifier/MLM linears); called whenever parameters may have changed in
+// place (grad-mode flips, checkpoint loads) so the next fast forward repacks
+// fresh weights.
 func (m *Model) invalidatePacks() {
 	for _, b := range m.Blocks {
-		b.Attn.InvalidateFastPath()
+		b.InvalidateFastPath()
 	}
+	m.MetaCls.InvalidateFastPath()
+	m.ContCls.InvalidateFastPath()
+	m.MLMHead.InvalidateFastPath()
 }
 
 // evalFast reports whether the model-level fused inference path may be
@@ -143,9 +148,14 @@ func (m *Model) contentLogitsWS(ws *tensor.Workspace, x *tensor.Tensor, rowBase 
 // for the whole batch, scratch-resident masks and classifier features, and
 // the same release contract as the composed path (fresh metadata encodings
 // reachable from the logits' parents are recycled; cached deep copies are
-// leaves and survive).
-func (m *Model) predictContentBatchFast(reqs []ContentRequest, n int) [][][]float64 {
+// leaves and survive). quantize, when non-nil, overrides the process-wide
+// quantization default for this batch.
+func (m *Model) predictContentBatchFast(reqs []ContentRequest, n int, quantize *bool) [][][]float64 {
 	ws := tensor.AcquireWorkspace()
+	if quantize != nil {
+		ws.Quantize = *quantize
+	}
+	observeQuantized(ws, quantContentForwardsTotal)
 	h := m.Cfg.Hidden
 
 	cins := make([]*ContentInput, len(reqs))

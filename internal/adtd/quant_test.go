@@ -1,0 +1,200 @@
+package adtd
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/metafeat"
+	"repro/internal/tensor"
+)
+
+// withQuantized runs f with the int8 inference packs opted in process-wide,
+// restoring the previous setting afterwards.
+func withQuantized(f func()) {
+	prev := tensor.QuantizeEnabled()
+	tensor.SetQuantize(true)
+	defer tensor.SetQuantize(prev)
+	f()
+}
+
+// quantTolerance bounds the end-to-end probability drift the int8 path may
+// introduce versus the fp64 fast path. Per-row absmax scales keep each
+// quantized matmul within ~1% relative error and the sigmoid is
+// 1/4-Lipschitz, so 0.05 absolute on probabilities is a conservative
+// envelope (documented in DESIGN.md §11).
+const quantTolerance = 0.05
+
+// TestQuantPredictMetaAccuracyDelta: the Phase-1 forward under int8 packs
+// must stay within tolerance of the fp64 fast path, and must actually
+// diverge from it (proving the quantized kernels ran).
+func TestQuantPredictMetaAccuracyDelta(t *testing.T) {
+	if !tensor.QuantizeAvailable() {
+		t.Skip("no SIMD int8 kernels on this machine")
+	}
+	m, ds := tinyModel(t)
+	var worst float64
+	diverged := false
+	for ti := 0; ti < 3 && ti < len(ds.Test); ti++ {
+		info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+		_, fp := m.PredictMeta(info, false)
+		var q [][]float64
+		withQuantized(func() { _, q = m.PredictMeta(info, false) })
+		if len(q) != len(fp) {
+			t.Fatalf("table %d: %d vs %d columns", ti, len(q), len(fp))
+		}
+		for c := range fp {
+			for s := range fp[c] {
+				d := math.Abs(q[c][s] - fp[c][s])
+				if d > worst {
+					worst = d
+				}
+				if d != 0 {
+					diverged = true
+				}
+			}
+		}
+	}
+	if worst > quantTolerance {
+		t.Fatalf("quantized meta probabilities drift %.4f > tolerance %.2f", worst, quantTolerance)
+	}
+	if !diverged {
+		t.Fatal("quantized path produced bit-identical output: int8 kernels not selected")
+	}
+}
+
+// TestQuantPredictContentBatchAccuracyDelta: same bound for the batched
+// Phase-2 path, both mask regimes.
+func TestQuantPredictContentBatchAccuracyDelta(t *testing.T) {
+	if !tensor.QuantizeAvailable() {
+		t.Skip("no SIMD int8 kernels on this machine")
+	}
+	for _, symmetric := range []bool{false, true} {
+		m, ds := tinyModel(t)
+		m.Cfg.SymmetricContent = symmetric
+		const cells = 3
+		run := func() [][][]float64 {
+			var reqs []ContentRequest
+			for ti := 0; ti < 3 && ti < len(ds.Test); ti++ {
+				info := metafeat.FromCorpusTable(ds.Test[ti], false, 0)
+				cols := []int{0}
+				if len(info.Columns) > 1 {
+					cols = append(cols, len(info.Columns)-1)
+				}
+				menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
+				reqs = append(reqs, ContentRequest{Menc: menc, Table: info, Cols: cols})
+			}
+			return m.PredictContentBatch(reqs, cells)
+		}
+		fp := run()
+		var q [][][]float64
+		withQuantized(func() { q = run() })
+		var worst float64
+		diverged := false
+		for r := range fp {
+			for c := range fp[r] {
+				for s := range fp[r][c] {
+					d := math.Abs(q[r][c][s] - fp[r][c][s])
+					if d > worst {
+						worst = d
+					}
+					if d != 0 {
+						diverged = true
+					}
+				}
+			}
+		}
+		if worst > quantTolerance {
+			t.Fatalf("symmetric=%v: quantized content probabilities drift %.4f > tolerance %.2f",
+				symmetric, worst, quantTolerance)
+		}
+		if !diverged {
+			t.Fatalf("symmetric=%v: quantized path bit-identical: int8 kernels not selected", symmetric)
+		}
+	}
+}
+
+// TestQuantPerRequestOverride: the Q-variant entry points must honor an
+// explicit per-request preference over the process default.
+func TestQuantPerRequestOverride(t *testing.T) {
+	if !tensor.QuantizeAvailable() {
+		t.Skip("no SIMD int8 kernels on this machine")
+	}
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	on, off := true, false
+	_, fp := m.PredictMetaQ(info, false, &off)
+	_, q := m.PredictMetaQ(info, false, &on)
+	// With the process default off, &on must still select the int8 path.
+	diverged := false
+	for c := range fp {
+		for s := range fp[c] {
+			if fp[c][s] != q[c][s] {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("per-request quantize=true did not select the int8 path")
+	}
+	// And with the process default on, &off must restore the fp64 path.
+	withQuantized(func() {
+		_, fp2 := m.PredictMetaQ(info, false, &off)
+		for c := range fp {
+			for s := range fp[c] {
+				if fp[c][s] != fp2[c][s] {
+					t.Fatalf("per-request quantize=false did not restore the fp64 path (col %d type %d)", c, s)
+				}
+			}
+		}
+	})
+}
+
+// TestQuantPackInvalidatedOnWeightChange: the int8 packs obey the same
+// invalidation contract as the fp64 packs — a train/eval cycle that mutates
+// weights, or a checkpoint load, must rebuild them.
+func TestQuantPackInvalidatedOnWeightChange(t *testing.T) {
+	if !tensor.QuantizeAvailable() {
+		t.Skip("no SIMD int8 kernels on this machine")
+	}
+	withQuantized(func() {
+		m, ds := tinyModel(t)
+		info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+		_, before := m.PredictMeta(info, false) // populates the int8 packs
+
+		// Save the current weights, then mutate in a train/eval cycle.
+		var ckpt bytes.Buffer
+		if err := m.Save(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		m.SetTrain()
+		m.Blocks[0].Attn.WQ.W.Data[0] += 1.5
+		m.MetaCls.Out.W.Data[0] += 1.5
+		m.SetEval()
+		_, after := m.PredictMeta(info, false)
+		if probsEqual(before, after) {
+			t.Fatal("weight mutation did not change quantized predictions: stale int8 packs served")
+		}
+
+		// Loading the checkpoint must also invalidate, restoring the
+		// original quantized predictions exactly.
+		if err := m.Load(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		_, restored := m.PredictMeta(info, false)
+		if !probsEqual(before, restored) {
+			t.Fatal("checkpoint load did not rebuild int8 packs from restored weights")
+		}
+	})
+}
+
+func probsEqual(a, b [][]float64) bool {
+	for c := range a {
+		for s := range a[c] {
+			if a[c][s] != b[c][s] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -409,6 +409,29 @@ func AutoMode() ExecMode {
 	return ExecMode{Pipelined: true, PrepWorkers: w, InferWorkers: w}
 }
 
+// quantKey carries a per-request int8 quantization override through the
+// stage contexts.
+type quantKey struct{}
+
+// WithQuantize returns a context carrying a per-request quantization
+// preference for the inference stages: true forces the int8 fast path on
+// (when selectable), false forces it off, overriding the process default set
+// by tensor.SetQuantize. Requests without the value follow the default. The
+// cross-request content inferencer batches requests from many contexts and
+// therefore always uses the process default.
+func WithQuantize(ctx context.Context, on bool) context.Context {
+	return context.WithValue(ctx, quantKey{}, on)
+}
+
+// quantPref extracts the per-request quantization preference; nil means
+// "follow the process default".
+func quantPref(ctx context.Context) *bool {
+	if v, ok := ctx.Value(quantKey{}).(bool); ok {
+		return &v
+	}
+	return nil
+}
+
 // tableJob carries per-table state across the four stages.
 type tableJob struct {
 	d       *Detector
@@ -507,7 +530,7 @@ func (j *tableJob) s2InferMetadata(ctx context.Context) error {
 	// Chunks cover the columns consecutively, so appending per chunk keeps
 	// p1Probs indexed by global column position.
 	for ci, chunk := range j.chunks {
-		menc, probs := j.d.Model.PredictMeta(chunk, opts.UseHistogram)
+		menc, probs := j.d.Model.PredictMetaQ(chunk, opts.UseHistogram, quantPref(ctx))
 		j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci), menc) // deep-copies
 		menc.Release()
 		j.p1Probs = append(j.p1Probs, probs...)
@@ -731,7 +754,7 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 			return nil
 		}
 	} else {
-		batch = j.d.Model.PredictContentBatch(reqs, opts.CellsPerColumn)
+		batch = j.d.Model.PredictContentBatchQ(reqs, opts.CellsPerColumn, quantPref(ctx))
 	}
 	for r, globals := range globalsPerReq {
 		for slot, g := range globals {

@@ -153,6 +153,12 @@ type DetectRequest struct {
 	// response: per-stage timings for every table, relative to request
 	// start.
 	Trace bool `json:"trace,omitempty"`
+	// Quantize, when set, overrides the process-wide int8 quantized-inference
+	// default (tasted -quantize) for this request: true opts in, false opts
+	// out. Ignored on CPUs without the required SIMD support and on requests
+	// served through the cross-request batcher, which always follows the
+	// process default.
+	Quantize *bool `json:"quantize,omitempty"`
 }
 
 // DetectColumn is one column's outcome in a DetectResponse.
@@ -223,6 +229,9 @@ func (s *Service) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	if req.Quantize != nil {
+		ctx = core.WithQuantize(ctx, *req.Quantize)
+	}
 	var root *obs.Span
 	if req.Trace {
 		ctx, root = obs.NewTrace(ctx, "detect "+req.Database)

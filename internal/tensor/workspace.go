@@ -14,11 +14,30 @@ import "sync"
 type Workspace struct {
 	free map[int][][]float64
 	used [][]float64
+
+	freeI8  map[int][][]int8
+	usedI8  [][]int8
+	freeI16 map[int][][]int16
+	usedI16 [][]int16
+	freeInt map[int][][]int
+	usedInt [][]int
+
+	// Quantize requests the int8 kernels for forwards threaded through this
+	// workspace. AcquireWorkspace seeds it from the process default
+	// (QuantizeEnabled); entry points with a per-request preference overwrite
+	// it after acquiring. Consumers must additionally check
+	// QuantizeAvailable before selecting a quantized kernel.
+	Quantize bool
 }
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace {
-	return &Workspace{free: make(map[int][][]float64)}
+	return &Workspace{
+		free:    make(map[int][][]float64),
+		freeI8:  make(map[int][][]int8),
+		freeI16: make(map[int][][]int16),
+		freeInt: make(map[int][][]int),
+	}
 }
 
 // Take returns a scratch slice of length n with UNSPECIFIED contents; the
@@ -52,6 +71,45 @@ func (w *Workspace) Matrix(rows, cols int) *Tensor {
 	return &Tensor{Rows: rows, Cols: cols, Data: w.Take(rows * cols)}
 }
 
+// TakeI8 is Take for int8 scratch (quantized activations and weight tiles).
+func (w *Workspace) TakeI8(n int) []int8 {
+	if l := w.freeI8[n]; len(l) > 0 {
+		b := l[len(l)-1]
+		w.freeI8[n] = l[:len(l)-1]
+		w.usedI8 = append(w.usedI8, b)
+		return b
+	}
+	b := make([]int8, n)
+	w.usedI8 = append(w.usedI8, b)
+	return b
+}
+
+// TakeI16 is Take for int16 scratch (quantized attention probabilities).
+func (w *Workspace) TakeI16(n int) []int16 {
+	if l := w.freeI16[n]; len(l) > 0 {
+		b := l[len(l)-1]
+		w.freeI16[n] = l[:len(l)-1]
+		w.usedI16 = append(w.usedI16, b)
+		return b
+	}
+	b := make([]int16, n)
+	w.usedI16 = append(w.usedI16, b)
+	return b
+}
+
+// TakeInt is Take for int scratch (mask run boundaries and the like).
+func (w *Workspace) TakeInt(n int) []int {
+	if l := w.freeInt[n]; len(l) > 0 {
+		b := l[len(l)-1]
+		w.freeInt[n] = l[:len(l)-1]
+		w.usedInt = append(w.usedInt, b)
+		return b
+	}
+	b := make([]int, n)
+	w.usedInt = append(w.usedInt, b)
+	return b
+}
+
 // Reset reclaims every buffer handed out since the previous Reset. Any
 // slice or Matrix obtained earlier becomes invalid for reading or writing.
 func (w *Workspace) Reset() {
@@ -59,6 +117,18 @@ func (w *Workspace) Reset() {
 		w.free[len(b)] = append(w.free[len(b)], b)
 	}
 	w.used = w.used[:0]
+	for _, b := range w.usedI8 {
+		w.freeI8[len(b)] = append(w.freeI8[len(b)], b)
+	}
+	w.usedI8 = w.usedI8[:0]
+	for _, b := range w.usedI16 {
+		w.freeI16[len(b)] = append(w.freeI16[len(b)], b)
+	}
+	w.usedI16 = w.usedI16[:0]
+	for _, b := range w.usedInt {
+		w.freeInt[len(b)] = append(w.freeInt[len(b)], b)
+	}
+	w.usedInt = w.usedInt[:0]
 }
 
 // wsPool recycles workspaces across goroutines; in steady state each worker
@@ -67,9 +137,12 @@ func (w *Workspace) Reset() {
 var wsPool = sync.Pool{New: func() interface{} { return NewWorkspace() }}
 
 // AcquireWorkspace returns a workspace for exclusive use by the calling
-// goroutine. Pair with ReleaseWorkspace.
+// goroutine, with Quantize seeded from the process-wide default. Pair with
+// ReleaseWorkspace.
 func AcquireWorkspace() *Workspace {
-	return wsPool.Get().(*Workspace)
+	ws := wsPool.Get().(*Workspace)
+	ws.Quantize = QuantizeEnabled()
+	return ws
 }
 
 // ReleaseWorkspace resets ws and returns it to the shared pool. Every

@@ -2,40 +2,61 @@
 # Runs the benchmark suites and emits JSON summaries (ns/op, B/op,
 # allocs/op per benchmark). Stdlib tooling only.
 #
-#   scripts/bench.sh [COMPUTE_OUT] [TRAIN_OUT]
+#   scripts/bench.sh [COMPUTE_OUT] [TRAIN_OUT] [QUANT_OUT]
 #
 # $1 (default BENCH_1.json) receives the compute-runtime set: matmul
 # kernels, attention forward, batched Phase-2 inference, end-to-end
 # detection. $2 (default BENCH_5.json) receives the training-runtime set:
 # the sharded Adam step and one fine-tuning epoch, each serial (par1)
-# versus four-way parallel (par4).
+# versus four-way parallel (par4). $3 (default BENCH_6.json) receives the
+# quantized-inference set: each int8 kernel timed back-to-back with its
+# fp64 counterpart in the same process, so the speedup ratio is
+# same-machine by construction.
 #
-# The header records GOMAXPROCS, the CPU count, the go version and the git
-# SHA, because the numbers are meaningless without them: BENCH_1's par4
-# shards running no faster than par1 looked like a kernel regression but was
-# simply a single-CPU container (GOMAXPROCS=1), where extra shards only add
-# scheduling overhead. The same plateau applies to BENCH_5: with
-# GOMAXPROCS=1 the four gradient workers of FineTuneEpoch/par4 time-slice
-# one core, so par4 ≈ par1 there measures the trainer's coordination
-# overhead, not a missing speedup. parallelRows caps shard count at
-# GOMAXPROCS, and the header makes the machine shape part of the record.
+# Parallel-sensitive suites run across a GOMAXPROCS matrix (1/2/4, values
+# above the CPU count skipped and recorded in the header), and every
+# benchmark entry is tagged with the gomaxprocs it ran under. A parN-vs-par1
+# ratio is emitted as a "parallel_speedups" entry ONLY when cpus > 1 and the
+# run's gomaxprocs > 1; on a single-CPU machine the workers time-slice one
+# core, so the ratio measures coordination overhead, not speedup, and the
+# summary says so instead ("parallel_speedups_suppressed"). That rule exists
+# because BENCH_1's par4 shards running no faster than par1 once looked like
+# a kernel regression but was simply a 1-CPU container.
 set -eu
 
 COMPUTE_OUT="${1:-BENCH_1.json}"
 TRAIN_OUT="${2:-BENCH_5.json}"
+QUANT_OUT="${3:-BENCH_6.json}"
 cd "$(dirname "$0")/.."
 
 NCPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
-MAXPROCS="${GOMAXPROCS:-$NCPU}"
 GITSHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+# GOMAXPROCS matrix: 1/2/4, dropping values the machine cannot provide.
+MATRIX=""
+SKIPPED=""
+for gp in 1 2 4; do
+    if [ "$gp" -le "$NCPU" ]; then
+        MATRIX="$MATRIX $gp"
+    else
+        SKIPPED="$SKIPPED $gp"
+    fi
+done
+MATRIX="${MATRIX# }"
+SKIPPED="${SKIPPED# }"
+# Highest matrix value: the "ambient" setting for non-parallel suites.
+TOPGP="${MATRIX##* }"
+
+echo "bench: cpus=$NCPU gomaxprocs matrix=[$MATRIX] skipped=[$SKIPPED]" >&2
 
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
-run() { # run <package> <benchmark regex> [benchtime]
-    pkg="$1"; pat="$2"; bt="${3:-1s}"
-    echo "bench: $pkg -bench $pat" >&2
-    go test -run '^$' -bench "$pat" -benchmem -benchtime "$bt" "$pkg" >>"$TMP" 2>&1 || {
+run() { # run <gomaxprocs> <package> <benchmark regex> [benchtime]
+    gp="$1"; pkg="$2"; pat="$3"; bt="${4:-1s}"
+    echo "bench: GOMAXPROCS=$gp $pkg -bench $pat" >&2
+    echo "@gomaxprocs $gp" >>"$TMP"
+    GOMAXPROCS="$gp" go test -run '^$' -bench "$pat" -benchmem -benchtime "$bt" "$pkg" >>"$TMP" 2>&1 || {
         echo "bench: FAILED in $pkg" >&2
         tail -5 "$TMP" >&2
         exit 1
@@ -45,8 +66,10 @@ run() { # run <package> <benchmark regex> [benchtime]
 emit() { # emit <outfile>: summarize $TMP as JSON, then reset it
     awk -v host="$(go env GOOS)/$(go env GOARCH)" \
         -v goversion="$(go env GOVERSION)" \
-        -v maxprocs="$MAXPROCS" -v ncpu="$NCPU" -v sha="$GITSHA" '
-BEGIN { n = 0 }
+        -v matrix="$MATRIX" -v skipped="$SKIPPED" \
+        -v ncpu="$NCPU" -v sha="$GITSHA" '
+BEGIN { n = 0; gp = 0 }
+/^@gomaxprocs / { gp = $2; next }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
@@ -56,35 +79,87 @@ BEGIN { n = 0 }
         if ($i == "allocs/op") allocs = $(i-1)
     }
     if (ns == "") next
-    line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+    line = sprintf("    {\"name\": \"%s\", \"gomaxprocs\": %d, \"ns_per_op\": %s", name, gp, ns)
     if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
     if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
     line = line "}"
-    results[n++] = line
+    results[n] = line
+    names[n] = name; gps[n] = gp
+    nsv[name "|" gp] = ns
+    n++
+}
+function jsonlist(s,  parts, k, out, i) {
+    k = split(s, parts, " ")
+    out = "["
+    for (i = 1; i <= k; i++) out = out (i > 1 ? ", " : "") parts[i]
+    return out "]"
 }
 END {
     printf "{\n  \"platform\": \"%s\",\n", host
     printf "  \"go_version\": \"%s\",\n", goversion
-    printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"cpus\": %s,\n", ncpu
+    printf "  \"gomaxprocs_matrix\": %s,\n", jsonlist(matrix)
+    printf "  \"gomaxprocs_skipped\": %s,\n", jsonlist(skipped)
+    if (skipped != "")
+        printf "  \"matrix_note\": \"gomaxprocs values [%s] exceed the %s available CPU(s) and were skipped\",\n", skipped, ncpu
     printf "  \"git_sha\": \"%s\",\n", sha
     printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n-1 ? "," : "")
-    printf "  ]\n}\n"
+    printf "  ]"
+    # parN-vs-par1 ratios: a "speedup" label is only honest when more than
+    # one CPU existed AND the run granted more than one P; otherwise the
+    # workers time-sliced a single core and the ratio is coordination
+    # overhead, so the label is refused and the reason recorded instead.
+    m = 0; sawpar = 0
+    for (i = 0; i < n; i++) {
+        name = names[i]
+        if (match(name, /\/par[0-9]+$/)) {
+            w = substr(name, RSTART + 4, RLENGTH - 4) + 0
+            if (w <= 1) continue
+            sawpar = 1
+            if (ncpu <= 1 || gps[i] <= 1) continue
+            base = substr(name, 1, RSTART - 1) "/par1"
+            key = base "|" gps[i]
+            if (!(key in nsv)) continue
+            sp[m] = sprintf("    {\"name\": \"%s\", \"workers\": %d, \"gomaxprocs\": %d, \"speedup_vs_par1\": %.2f}",
+                            name, w, gps[i], nsv[key] / nsv[name "|" gps[i]])
+            m++
+        }
+    }
+    if (m > 0) {
+        printf ",\n  \"parallel_speedups\": [\n"
+        for (i = 0; i < m; i++) printf "%s%s\n", sp[i], (i < m-1 ? "," : "")
+        printf "  ]"
+    } else if (sawpar) {
+        printf ",\n  \"parallel_speedups_suppressed\": \"cpus == %s: parN workers time-slice the available core(s); a parN/par1 ratio here measures coordination overhead, not parallel speedup\"", ncpu
+    }
+    printf "\n}\n"
 }' "$TMP" >"$1"
     echo "bench: wrote $1 ($(grep -c '"name"' "$1") entries)" >&2
     : >"$TMP"
 }
 
-# Compute-runtime set → $COMPUTE_OUT.
-run ./internal/tensor 'BenchmarkMatMul$|BenchmarkMatMul64$|BenchmarkMatMulNTScores$|BenchmarkTrainStepRelease' 1s
-run ./internal/nn 'BenchmarkSelfAttention128$|BenchmarkTransformerBlock$' 1s
-run ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceCachedLatents$' 1s
-run ./internal/pipeline 'BenchmarkSequentialExecution$|BenchmarkPipelinedExecution$' 1s
-run ./internal/core 'BenchmarkDetectDatabase' 3x
+# Compute-runtime set → $COMPUTE_OUT (ambient GOMAXPROCS = top of matrix).
+run "$TOPGP" ./internal/tensor 'BenchmarkMatMul$|BenchmarkMatMul64$|BenchmarkMatMulNTScores$|BenchmarkTrainStepRelease' 1s
+run "$TOPGP" ./internal/nn 'BenchmarkSelfAttention128$|BenchmarkTransformerBlock$' 1s
+run "$TOPGP" ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceCachedLatents$' 1s
+run "$TOPGP" ./internal/pipeline 'BenchmarkSequentialExecution$|BenchmarkPipelinedExecution$' 1s
+run "$TOPGP" ./internal/core 'BenchmarkDetectDatabase' 3x
 emit "$COMPUTE_OUT"
 
-# Training-runtime set → $TRAIN_OUT.
-run ./internal/tensor 'BenchmarkAdamStep$' 1s
-run ./internal/adtd 'BenchmarkFineTuneEpoch$' 2x
+# Training-runtime set → $TRAIN_OUT: the par1/par4 pairs run at every
+# matrix point so parallel claims are tied to a recorded machine shape.
+for gp in $MATRIX; do
+    run "$gp" ./internal/tensor 'BenchmarkAdamStep$' 1s
+    run "$gp" ./internal/adtd 'BenchmarkFineTuneEpoch$' 2x
+done
 emit "$TRAIN_OUT"
+
+# Quantized-inference set → $QUANT_OUT: every fp64/int8 pair runs in one
+# process invocation, back-to-back, at each matrix point.
+for gp in $MATRIX; do
+    run "$gp" ./internal/tensor 'BenchmarkFusedAttentionCore128$|BenchmarkQuantAttentionCore128$|BenchmarkLinearInto128x64x192$|BenchmarkLinearQuantInto128x64x192$' 1s
+    run "$gp" ./internal/nn 'BenchmarkSelfAttention128$|BenchmarkSelfAttention128Quant$' 1s
+    run "$gp" ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceBatchedQuant$' 1s
+done
+emit "$QUANT_OUT"
