@@ -5,12 +5,13 @@ GO ?= go
 # Packages whose concurrency the race detector must vet: the tensor
 # runtime's worker pool + arena, the latent cache, the pipelined scheduler,
 # the fault-injecting simdb, the HTTP service with its cross-request
-# micro-batcher, the lock-free metrics registry, and the data-parallel
+# micro-batcher, the lock-free metrics registry, the data-parallel
 # training runtime with its gradient workers (plus the two model packages
-# whose multi-worker training tests exercise it).
-RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/...
+# whose multi-worker training tests exercise it), the fleet coordinator
+# with its health prober and admission queue, and the shared retry core.
+RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/...
 
-.PHONY: build vet test race race-all fuzz ci bench bench-smoke metrics-smoke clean
+.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-smoke metrics-smoke fleet-smoke clean
 
 build:
 	$(GO) build ./...
@@ -33,10 +34,16 @@ fuzz:
 metrics-smoke:
 	bash scripts/metrics_smoke.sh
 
+# fleet-smoke boots two tasted replicas behind a tastefleet coordinator,
+# routes a detect, scrapes the aggregated /metrics, then kills a replica
+# and asserts failover (DESIGN.md §12).
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
+
 # ci is the gate a pull request must pass: vet, build, the full test suite,
-# the race detector over every concurrent package, and the observability
-# smoke test.
-ci: vet test race metrics-smoke
+# the race detector over every concurrent package, and the two serving
+# smoke tests.
+ci: vet test race metrics-smoke fleet-smoke
 
 # race-all adds internal/core, whose fixture trains a model and needs a
 # far longer deadline under the race detector's ~10x slowdown.
@@ -46,11 +53,19 @@ race-all:
 # bench runs the compute-runtime benchmark set (BENCH_1.json: matmul
 # kernels, attention forward, batched Phase-2 inference, end-to-end
 # detection), the training-runtime set (BENCH_5.json: sharded Adam and
-# one fine-tuning epoch, serial vs four gradient workers), and the
+# one fine-tuning epoch, serial vs four gradient workers), the
 # quantized-inference set (BENCH_6.json: int8 kernels back-to-back with
-# their fp64 counterparts across the GOMAXPROCS matrix).
+# their fp64 counterparts across the GOMAXPROCS matrix), and the
+# fleet-serving set (BENCH_7.json: seeded open-/closed-loop load against
+# an in-process 3-replica fleet — latency quantiles, throughput, shed rate,
+# per-replica distribution).
 bench:
-	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json
+	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json
+
+# bench-fleet re-records only BENCH_7.json (the fleet suite trains a model,
+# so it dominates a full bench run's wall-clock).
+bench-fleet:
+	FLEET_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # value, but it keeps the benchmark code from rotting between full runs.
@@ -62,4 +77,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_1.json BENCH_5.json BENCH_6.json
+	rm -f BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json

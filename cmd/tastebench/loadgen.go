@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+type loadgenOpts struct {
+	mode           string
+	rate           float64
+	concurrency    int
+	requests       int
+	seed           int64
+	deadlineMillis int64
+	replicas       int
+	tables         int
+	tenants        int
+	maxInFlight    int
+	queueDepth     int
+	target         string
+}
+
+// loadgenRecord is one BENCH_7 entry: the workload configuration that
+// produced the run (a pure function of the seed) plus the measured report.
+// The gomaxprocs tag follows the PR 6 bench format so fleet numbers carry
+// their machine shape like every other suite.
+type loadgenRecord struct {
+	Name        string            `json:"name"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Replicas    int               `json:"replicas"`
+	Tenants     int               `json:"tenants"`
+	Rate        float64           `json:"rate_rps,omitempty"`
+	Concurrency int               `json:"concurrency,omitempty"`
+	MaxInFlight int               `json:"max_inflight,omitempty"`
+	QueueDepth  int               `json:"queue_depth"`
+	ShedRate    float64           `json:"shed_rate"`
+	Report      *fleet.LoadReport `json:"report"`
+}
+
+// runLoadgen boots the in-process fleet (unless -target points at an
+// external one), drives it with the configured workload, and prints one
+// JSON record line to stdout.
+func runLoadgen(opts loadgenOpts) error {
+	baseURL := opts.target
+	targets := map[string][]string{"demo": nil} // tasted's default tenant
+	replicas := 1
+	if baseURL == "" {
+		fmt.Fprintf(os.Stderr, "tastebench: booting %d-replica in-process fleet (%d tables, %d tenants)\n",
+			opts.replicas, opts.tables, opts.tenants)
+		h, err := fleet.StartLocal(fleet.HarnessConfig{
+			Replicas: opts.replicas,
+			Tables:   opts.tables,
+			Tenants:  opts.tenants,
+			Seed:     opts.seed,
+			Coordinator: fleet.Config{
+				MaxInFlight: opts.maxInFlight,
+				QueueDepth:  opts.queueDepth,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer h.Close()
+		baseURL = h.CoordinatorURL
+		targets = h.TenantTables
+		replicas = opts.replicas
+	}
+
+	start := time.Now()
+	rep, err := fleet.RunLoad(baseURL, fleet.LoadConfig{
+		Mode:           opts.mode,
+		Rate:           opts.rate,
+		Concurrency:    opts.concurrency,
+		Requests:       opts.requests,
+		Seed:           opts.seed,
+		Targets:        targets,
+		DeadlineMillis: opts.deadlineMillis,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tastebench: load run done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	rec := loadgenRecord{
+		Name:       "fleet_load/" + opts.mode,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Replicas:   replicas,
+		Tenants:    len(targets),
+		QueueDepth: opts.queueDepth,
+		Report:     rep,
+	}
+	if opts.mode == "open" {
+		rec.Rate = opts.rate
+	} else {
+		rec.Concurrency = opts.concurrency
+	}
+	if opts.maxInFlight > 0 {
+		rec.MaxInFlight = opts.maxInFlight
+	}
+	if rep.Requests > 0 {
+		rec.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	tastebench [-quick] [-experiment name] [-checkpoints dir] [-repeats n] [-latency scale]
+//
+// With -loadgen it instead boots an in-process fleet (N tasted replicas
+// behind the coordinator, trained once, loopback sockets) and drives it
+// with the seeded load generator, printing one JSON report line:
+//
+//	tastebench -loadgen -loadgen-mode open -rate 50 -requests 200
+//	tastebench -loadgen -loadgen-mode closed -concurrency 8 -requests 200
 package main
 
 import (
@@ -37,8 +44,34 @@ func main() {
 		fastpath     = flag.Bool("fastpath", true, "use the fused no-grad inference kernels (disable to time the composed autograd ops)")
 		quantize     = flag.Bool("quantize", false, "run inference through the int8 quantized kernels (lossy; no-op without AVX2)")
 		trace        = flag.Bool("trace", false, "run one traced detection and print the per-phase latency breakdown (Table-7 style) instead of the experiments")
+
+		loadgen       = flag.Bool("loadgen", false, "run the fleet load generator instead of the experiments (see -loadgen-* flags)")
+		loadgenMode   = flag.String("loadgen-mode", "closed", "arrival process: open (Poisson at -rate req/s) or closed (-concurrency workers, zero think time)")
+		loadgenRate   = flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
+		loadgenConc   = flag.Int("concurrency", 4, "closed-loop worker count")
+		loadgenReqs   = flag.Int("requests", 100, "total requests per load run")
+		loadgenSeed   = flag.Int64("loadgen-seed", 7, "workload seed (target picks and inter-arrival gaps are pure functions of it)")
+		loadgenDeadl  = flag.Int64("deadline-ms", 0, "deadline_ms stamped on every generated request (0 = none)")
+		fleetReplicas = flag.Int("fleet-replicas", 3, "in-process fleet size")
+		fleetTables   = flag.Int("fleet-tables", 40, "corpus size behind the in-process fleet")
+		fleetTenants  = flag.Int("fleet-tenants", 8, "tenant databases the corpus is sharded into")
+		fleetInflight = flag.Int("max-inflight", 0, "coordinator admission cap (0 = default 64; lower it with -queue-depth 0 to provoke shedding)")
+		fleetQueue    = flag.Int("queue-depth", 0, "coordinator admission queue depth")
+		loadgenTarget = flag.String("target", "", "drive an external coordinator/replica at this base URL instead of booting the in-process fleet")
 	)
 	flag.Parse()
+	if *loadgen {
+		if err := runLoadgen(loadgenOpts{
+			mode: *loadgenMode, rate: *loadgenRate, concurrency: *loadgenConc,
+			requests: *loadgenReqs, seed: *loadgenSeed, deadlineMillis: *loadgenDeadl,
+			replicas: *fleetReplicas, tables: *fleetTables, tenants: *fleetTenants,
+			maxInFlight: *fleetInflight, queueDepth: *fleetQueue, target: *loadgenTarget,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "tastebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	tensor.SetParallelism(*parallelism)
 	tensor.SetFastPath(*fastpath)
 	tensor.SetQuantize(*quantize)

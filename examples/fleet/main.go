@@ -1,78 +1,99 @@
-// Fleet: process a large batch of tables and compare sequential execution
-// (how prior systems run) against the pipelined scheduler of §5, which
-// overlaps one table's database I/O with another table's model inference.
-// Also demonstrates the latent cache's contribution.
+// Fleet: horizontal scale-out serving (DESIGN.md §12). Boots three tasted
+// replicas behind the consistent-hash coordinator on loopback sockets,
+// routes detection for several tenants, then kills a replica mid-run to
+// show health-gated failover keeping the fleet answering — the cloud
+// deployment story of §2.2 at demo scale.
 package main
 
 import (
-	"context"
+	"encoding/json"
 	"fmt"
 	"log"
-	"os"
+	"net/http"
+	"strings"
 	"time"
 
-	taste "repro"
+	"repro/internal/fleet"
 )
 
-func main() {
-	fmt.Println("generating a fleet of tenant tables …")
-	ds := taste.WikiTableDataset(200, 3)
+func detect(baseURL, body string) (int, string, error) {
+	resp, err := http.Post(baseURL+"/v1/detect", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var parsed struct {
+		TotalColumns int  `json:"total_columns"`
+		Degraded     bool `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, fmt.Sprintf("%d columns, degraded=%v, served by %s",
+		parsed.TotalColumns, parsed.Degraded, resp.Header.Get(fleet.ReplicaHeader)), nil
+}
 
-	fmt.Println("training ADTD model …")
-	model, err := taste.NewModel(ds, taste.ReproScale(), 1)
+func main() {
+	fmt.Println("booting a 3-replica fleet (one model, per-replica detectors) …")
+	h, err := fleet.StartLocal(fleet.HarnessConfig{
+		Replicas: 3,
+		Tables:   60,
+		Tenants:  6,
+		Seed:     7,
+		Epochs:   2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := taste.DefaultTrainConfig()
-	cfg.Epochs = 5
-	cfg.LR, cfg.FinalLR = 1.5e-3, 5e-4
-	cfg.PosWeight = 6
-	cfg.Log = os.Stderr
-	if err := taste.Train(model, ds, cfg); err != nil {
+	defer h.Close()
+	fmt.Printf("coordinator %s over %d replicas, %d tenants\n\n",
+		h.CoordinatorURL, len(h.ReplicaURLs), len(h.Tenants))
+
+	fmt.Println("routing one whole-database detection per tenant:")
+	victim := ""
+	for _, tenant := range h.Tenants {
+		if len(h.TenantTables[tenant]) == 0 {
+			continue
+		}
+		status, summary, err := detect(h.CoordinatorURL, fmt.Sprintf(`{"database":%q}`, tenant))
+		if err != nil || status != http.StatusOK {
+			log.Fatalf("tenant %s: status %d err %v", tenant, status, err)
+		}
+		fmt.Printf("  %-10s → %s\n", tenant, summary)
+		if victim == "" {
+			owner := h.Coordinator.Ring().Owner(tenant)
+			victim = owner
+		}
+	}
+
+	fmt.Printf("\nkilling %s and re-routing its tenants …\n", victim)
+	h.StopReplica(victim)
+	for _, tenant := range h.Tenants {
+		if len(h.TenantTables[tenant]) == 0 || h.Coordinator.Ring().Owner(tenant) != victim {
+			continue
+		}
+		status, summary, err := detect(h.CoordinatorURL, fmt.Sprintf(`{"database":%q}`, tenant))
+		if err != nil || status != http.StatusOK {
+			log.Fatalf("failover for %s: status %d err %v", tenant, status, err)
+		}
+		fmt.Printf("  %-10s → %s  (owner %s is down)\n", tenant, summary, victim)
+	}
+
+	// Give the prober a moment to eject the dead replica, then show the
+	// fleet's view of itself.
+	time.Sleep(500 * time.Millisecond)
+	resp, err := http.Get(h.CoordinatorURL + "/v1/stats")
+	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Batch = the test split plus the validation split, ~60 tables.
-	batch := append(append([]*taste.Table{}, ds.Val...), ds.Test...)
-	fmt.Printf("\nbatch: %d tables\n\n", len(batch))
-
-	type run struct {
-		name    string
-		mode    taste.ExecMode
-		caching bool
+	defer resp.Body.Close()
+	var stats fleet.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
 	}
-	runs := []run{
-		{"sequential, no cache", taste.SequentialMode, false},
-		{"sequential, latent cache", taste.SequentialMode, true},
-		{"pipelined (TP1=TP2=2), latent cache", taste.PipelinedMode(), true},
-		{"pipelined (TP1=TP2=4), latent cache", taste.ExecMode{Pipelined: true, PrepWorkers: 4, InferWorkers: 4}, true},
-	}
-	fmt.Printf("%-38s %12s %10s %12s\n", "execution mode", "duration", "scanned", "cache hits")
-	var baseline time.Duration
-	for i, r := range runs {
-		opts := taste.DefaultOptions()
-		if !r.caching {
-			opts.CacheCapacity = 0
-		}
-		det, err := taste.NewDetector(model, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
-		server := taste.NewServer(taste.PaperLatency(1.0))
-		server.LoadTables("tenant", batch)
-		rep, err := det.DetectDatabase(context.Background(), server, "tenant", r.mode)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(rep.Errors) > 0 {
-			log.Fatalf("batch errors: %v", rep.Errors)
-		}
-		if i == 0 {
-			baseline = rep.Duration
-		}
-		fmt.Printf("%-38s %12v %9.1f%% %12d   (%.1f%% faster than first row)\n",
-			r.name, rep.Duration.Round(time.Millisecond),
-			100*rep.ScannedRatio(), rep.CacheHits,
-			100*(1-float64(rep.Duration)/float64(baseline)))
+	fmt.Printf("\nfleet stats: routed=%d failovers=%d retries=%d\n",
+		stats.Routing.Routed, stats.Routing.Failovers, stats.Routing.Retries)
+	for _, r := range stats.Replicas {
+		fmt.Printf("  %-10s healthy=%-5v ejections=%d\n", r.Name, r.Healthy, r.Ejections)
 	}
 }

@@ -19,7 +19,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
@@ -30,6 +29,7 @@ import (
 	"repro/internal/metafeat"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/retry"
 	"repro/internal/ruledet"
 	"repro/internal/simdb"
 )
@@ -169,8 +169,9 @@ type Detector struct {
 	mu       sync.Mutex
 	feedback []adtd.FeedbackExample
 
+	retrier *retry.Retrier
+
 	faultMu sync.Mutex
-	rng     *rand.Rand
 	stats   FaultStats
 }
 
@@ -186,7 +187,12 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 		Opts:  opts,
 		cache: adtd.NewLatentCache(opts.CacheCapacity),
 		rules: ruledet.Default(),
-		rng:   rand.New(rand.NewSource(opts.ScanSeed + 1)),
+		retrier: retry.New(retry.Policy{
+			MaxRetries:     opts.MaxRetries,
+			BaseDelay:      opts.RetryBaseDelay,
+			MaxDelay:       opts.RetryMaxDelay,
+			DeadlineMargin: opts.DeadlineMargin,
+		}, opts.ScanSeed+1),
 	}, nil
 }
 
@@ -241,59 +247,19 @@ func (d *Detector) noteDegraded(n int, deadline bool) {
 	}
 }
 
-// backoff returns the sleep before retry attempt+1: base·2^attempt plus up
-// to 50 % seeded jitter, capped at RetryMaxDelay (pre-jitter).
-func (d *Detector) backoff(attempt int) time.Duration {
-	base := d.Opts.RetryBaseDelay
-	if base <= 0 {
-		return 0
-	}
-	delay := base << uint(attempt)
-	if mx := d.Opts.RetryMaxDelay; mx > 0 && delay > mx {
-		delay = mx
-	}
-	d.faultMu.Lock()
-	jitter := time.Duration(d.rng.Int63n(int64(delay/2) + 1))
-	d.faultMu.Unlock()
-	return delay + jitter
-}
-
-// retry runs op under the detector's retry policy: transient errors are
-// retried up to MaxRetries times with exponential backoff + jitter, giving
-// up early when the context dies or the next backoff would cross the
-// deadline. Retries are recorded in the detector ledger and, when acct is
-// non-nil, in the database's accounting ledger. Returns the retry count.
+// retry runs op under the detector's retry policy (the shared
+// internal/retry machinery): transient database errors are retried up to
+// MaxRetries times with exponential backoff + seeded jitter, giving up
+// early when the context dies or the next backoff would cross the deadline.
+// Retries are recorded in the detector ledger and, when acct is non-nil, in
+// the database's accounting ledger. Returns the retry count.
 func (d *Detector) retry(ctx context.Context, acct *simdb.Accounting, op func() error) (int, error) {
-	retries := 0
-	for attempt := 0; ; attempt++ {
-		err := op()
-		if err == nil {
-			return retries, nil
-		}
-		if !simdb.IsTransient(err) || attempt >= d.Opts.MaxRetries || ctx.Err() != nil {
-			return retries, err
-		}
-		delay := d.backoff(attempt)
-		if dl, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(dl.Add(-d.Opts.DeadlineMargin)) {
-			// Sleeping would eat the remaining budget; degrade instead.
-			return retries, err
-		}
-		retries++
+	return d.retrier.Do(ctx, simdb.IsTransient, func() {
 		d.noteRetry()
 		if acct != nil {
 			acct.AddRetry()
 		}
-		if delay > 0 {
-			t := time.NewTimer(delay)
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return retries, err
-			}
-			t.Stop()
-		}
-	}
+	}, op)
 }
 
 // ColumnResult is the detection outcome for one column.

@@ -112,7 +112,7 @@ func TestBackoffGrowsAndIsCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	for attempt := 0; attempt < 10; attempt++ {
-		got := d.backoff(attempt)
+		got := d.retrier.Backoff(attempt)
 		// Pre-jitter delay is min(base·2ᵏ, max); jitter adds at most 50 %.
 		if limit := opts.RetryMaxDelay + opts.RetryMaxDelay/2; got > limit {
 			t.Fatalf("attempt %d: backoff %v exceeds cap %v", attempt, got, limit)

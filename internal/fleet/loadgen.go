@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+)
+
+// LoadConfig describes one load-generation run against a fleet (or a
+// single tasted replica — any /v1/detect endpoint works).
+type LoadConfig struct {
+	// Mode selects the arrival process: "open" (seeded Poisson arrivals at
+	// Rate req/s, latency does not throttle arrivals — the honest way to
+	// observe shedding) or "closed" (Concurrency workers, zero think time —
+	// each worker waits for its response before the next request).
+	Mode string
+	// Rate is the open-loop target arrival rate in requests/second.
+	Rate float64
+	// Concurrency is the closed-loop worker count.
+	Concurrency int
+	// Requests bounds the run: total requests issued.
+	Requests int
+	// Seed makes the workload reproducible: target selection and
+	// inter-arrival gaps derive from it alone.
+	Seed int64
+	// Targets is the tenant → tables catalogue requests are drawn from
+	// (uniformly, seeded). Empty tables ⇒ whole-database requests.
+	Targets map[string][]string
+	// DeadlineMillis, when positive, is stamped on every request.
+	DeadlineMillis int64
+	// Client issues requests; nil = default client, no timeout.
+	Client *http.Client
+}
+
+// LoadReport is a load run's outcome. Counts are exact; latency quantiles
+// are measured wall-clock (machine-dependent), while the request sequence
+// itself is a pure function of Seed.
+type LoadReport struct {
+	Mode            string  `json:"mode"`
+	Seed            int64   `json:"seed"`
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Degraded        int     `json:"degraded"`
+	Shed            int     `json:"shed"`         // 429: admission control
+	Unavailable     int     `json:"unavailable"`  // 503: no healthy replica
+	OtherErrors     int     `json:"other_errors"` // transport errors, unexpected statuses
+	DurationSeconds float64 `json:"duration_seconds"`
+	Throughput      float64 `json:"throughput_rps"` // completed (non-shed) responses per second
+	P50Millis       float64 `json:"p50_ms"`
+	P95Millis       float64 `json:"p95_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	// PerReplica is the routed-hit distribution from the coordinator's
+	// X-Taste-Replica header (empty when targeting a bare replica).
+	PerReplica map[string]int64 `json:"per_replica,omitempty"`
+}
+
+// loadTarget is one pre-drawn request target.
+type loadTarget struct {
+	database string
+	table    string // "" = whole database
+	gap      time.Duration
+}
+
+// planLoad draws the whole request sequence up front from one seeded rng,
+// so a (seed, config) pair always produces the identical workload
+// regardless of scheduling.
+func planLoad(cfg LoadConfig) []loadTarget {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tenants := make([]string, 0, len(cfg.Targets))
+	for t := range cfg.Targets {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	plan := make([]loadTarget, cfg.Requests)
+	for i := range plan {
+		tenant := tenants[rng.Intn(len(tenants))]
+		tables := cfg.Targets[tenant]
+		t := loadTarget{database: tenant}
+		if len(tables) > 0 {
+			t.table = tables[rng.Intn(len(tables))]
+		}
+		if cfg.Mode == "open" && cfg.Rate > 0 {
+			// Exponential inter-arrival ⇒ Poisson process at Rate.
+			t.gap = time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		}
+		plan[i] = t
+	}
+	return plan
+}
+
+type loadResult struct {
+	status  int
+	replica string
+	latency time.Duration
+	// degraded is the response body's "degraded" flag (200s only).
+	degraded bool
+	err      error
+}
+
+// RunLoad drives baseURL/v1/detect with the configured workload and
+// reports outcome counts, latency quantiles, throughput, and the
+// per-replica hit distribution.
+func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests must be > 0")
+	}
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	switch cfg.Mode {
+	case "open":
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: open-loop needs Rate > 0")
+		}
+	case "closed":
+		if cfg.Concurrency <= 0 {
+			cfg.Concurrency = 4
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q (open|closed)", cfg.Mode)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	plan := planLoad(cfg)
+	results := make([]loadResult, len(plan))
+	issue := func(i int) {
+		t := plan[i]
+		req := service.DetectRequest{Database: t.database, DeadlineMillis: cfg.DeadlineMillis}
+		if t.table != "" {
+			req.Tables = []string{t.table}
+		}
+		body, _ := json.Marshal(&req)
+		start := time.Now()
+		resp, err := client.Post(baseURL+"/v1/detect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			results[i] = loadResult{err: err, latency: time.Since(start)}
+			return
+		}
+		var parsed struct {
+			Degraded bool `json:"degraded"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&parsed)
+		resp.Body.Close()
+		results[i] = loadResult{
+			status:   resp.StatusCode,
+			replica:  resp.Header.Get(ReplicaHeader),
+			latency:  time.Since(start),
+			degraded: parsed.Degraded,
+		}
+	}
+
+	start := time.Now()
+	switch cfg.Mode {
+	case "open":
+		var wg sync.WaitGroup
+		for i := range plan {
+			time.Sleep(plan[i].gap)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				issue(i)
+			}(i)
+		}
+		wg.Wait()
+	case "closed":
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					issue(i)
+				}
+			}()
+		}
+		for i := range plan {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Mode:            cfg.Mode,
+		Seed:            cfg.Seed,
+		Requests:        len(plan),
+		DurationSeconds: elapsed.Seconds(),
+		PerReplica:      make(map[string]int64),
+	}
+	var latencies []float64
+	completed := 0
+	for _, r := range results {
+		if r.err != nil {
+			rep.OtherErrors++
+			continue
+		}
+		switch {
+		case r.status == http.StatusOK && r.degraded:
+			rep.Degraded++
+		case r.status == http.StatusOK:
+			rep.OK++
+		case r.status == http.StatusTooManyRequests:
+			rep.Shed++
+		case r.status == http.StatusServiceUnavailable:
+			rep.Unavailable++
+		default:
+			rep.OtherErrors++
+		}
+		if r.status == http.StatusOK {
+			completed++
+			latencies = append(latencies, float64(r.latency)/float64(time.Millisecond))
+			if r.replica != "" {
+				rep.PerReplica[r.replica]++
+			}
+		}
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(completed) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.P50Millis = quantile(latencies, 0.50)
+	rep.P95Millis = quantile(latencies, 0.95)
+	rep.P99Millis = quantile(latencies, 0.99)
+	return rep, nil
+}
+
+// quantile returns the q-quantile of sorted values (nearest-rank on the
+// upper side; 0 for empty input).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

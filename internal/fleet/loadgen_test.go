@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func loadTargets() map[string][]string {
+	return map[string][]string{
+		"tenant00": {"t0", "t1", "t2"},
+		"tenant01": {"t3", "t4"},
+		"tenant02": nil, // whole-database requests
+	}
+}
+
+// TestPlanLoadDeterministic: the request sequence is a pure function of
+// (seed, config) — same seed ⇒ identical plan, different seed ⇒ different.
+func TestPlanLoadDeterministic(t *testing.T) {
+	cfg := LoadConfig{Mode: "open", Rate: 100, Requests: 200, Seed: 42, Targets: loadTargets()}
+	p1 := planLoad(cfg)
+	p2 := planLoad(cfg)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 43
+	p3 := planLoad(cfg)
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	sawTable, sawWholeDB := false, false
+	for _, tt := range p1 {
+		if tt.gap < 0 {
+			t.Fatalf("negative inter-arrival gap %v", tt.gap)
+		}
+		if tt.table != "" {
+			sawTable = true
+		}
+		if tt.database == "tenant02" && tt.table == "" {
+			sawWholeDB = true
+		}
+	}
+	if !sawTable || !sawWholeDB {
+		t.Fatalf("plan lacks variety: table=%v wholeDB=%v", sawTable, sawWholeDB)
+	}
+}
+
+// scriptedEndpoint answers /v1/detect with a per-request scripted status
+// and a replica header cycling a..c, counting what it served.
+func scriptedEndpoint(statuses []int) (*httptest.Server, *atomic.Int64) {
+	var n atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		i := n.Add(1) - 1
+		status := statuses[int(i)%len(statuses)]
+		w.Header().Set(ReplicaHeader, fmt.Sprintf("replica%02d", i%3))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			degraded := i%5 == 0
+			fmt.Fprintf(w, `{"database":"d","degraded":%v}`, degraded)
+		} else {
+			fmt.Fprint(w, `{"error":"scripted"}`)
+		}
+	})
+	return httptest.NewServer(mux), &n
+}
+
+// TestRunLoadClosedCountsOutcomes: closed-loop run over a scripted endpoint
+// classifies 200/200-degraded/429/503 correctly and builds the per-replica
+// distribution from the header.
+func TestRunLoadClosedCountsOutcomes(t *testing.T) {
+	// 10-request cycle: 7×200 (of which i=0,5 degraded), 2×429, 1×503.
+	statuses := []int{200, 200, 429, 200, 503, 200, 200, 429, 200, 200}
+	srv, served := scriptedEndpoint(statuses)
+	defer srv.Close()
+
+	rep, err := RunLoad(srv.URL, LoadConfig{
+		Mode: "closed", Concurrency: 1, // sequential keeps the script aligned
+		Requests: 20, Seed: 7, Targets: loadTargets(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != 20 || rep.Requests != 20 {
+		t.Fatalf("issued %d/%d", served.Load(), rep.Requests)
+	}
+	// Degraded: scripted i%5==0 among 200s → i=0,5,10,15 but 5 is a 200?
+	// statuses[5]=200 yes; i counts served requests, degraded when i%5==0 →
+	// i ∈ {0,5,10,15}, all of which got status 200 per the cycle.
+	if rep.OK+rep.Degraded != 14 || rep.Degraded != 4 {
+		t.Fatalf("ok=%d degraded=%d, want ok+degraded=14 with 4 degraded", rep.OK, rep.Degraded)
+	}
+	if rep.Shed != 4 || rep.Unavailable != 2 || rep.OtherErrors != 0 {
+		t.Fatalf("shed=%d unavailable=%d other=%d", rep.Shed, rep.Unavailable, rep.OtherErrors)
+	}
+	var hits int64
+	for _, n := range rep.PerReplica {
+		hits += n
+	}
+	if hits != 14 {
+		t.Fatalf("per-replica hits sum %d, want 14 (the 200s): %v", hits, rep.PerReplica)
+	}
+	if rep.P50Millis <= 0 || rep.P99Millis < rep.P50Millis {
+		t.Fatalf("quantiles: p50=%v p99=%v", rep.P50Millis, rep.P99Millis)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %v", rep.Throughput)
+	}
+}
+
+// TestRunLoadOpenLoop: open-loop mode issues every planned request even
+// when responses are slow-ish, and rejects invalid configs.
+func TestRunLoadOpenLoop(t *testing.T) {
+	srv, served := scriptedEndpoint([]int{200})
+	defer srv.Close()
+	rep, err := RunLoad(srv.URL, LoadConfig{
+		Mode: "open", Rate: 2000, Requests: 50, Seed: 11, Targets: loadTargets(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != 50 || rep.OK+rep.Degraded != 50 {
+		t.Fatalf("served=%d ok=%d degraded=%d", served.Load(), rep.OK, rep.Degraded)
+	}
+
+	for _, bad := range []LoadConfig{
+		{Mode: "open", Requests: 5, Targets: loadTargets()},              // no rate
+		{Mode: "warp", Requests: 5, Rate: 1, Targets: loadTargets()},     // unknown mode
+		{Mode: "closed", Requests: 0, Targets: loadTargets()},            // no requests
+		{Mode: "closed", Requests: 5, Targets: map[string][]string(nil)}, // no targets
+	} {
+		if _, err := RunLoad(srv.URL, bad); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.95, 10}, {0.99, 10}, {0.1, 1}} {
+		if got := quantile(vals, tc.q); got != tc.want {
+			t.Fatalf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PoolConfig tunes replica health gating.
+type PoolConfig struct {
+	// ProbeInterval is the period of the background health prober; ≤ 0
+	// disables the background goroutine (tests drive ProbeOnce manually).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request.
+	ProbeTimeout time.Duration
+	// EjectAfter is the hysteresis down-threshold: this many *consecutive*
+	// failures (probes or routed requests) eject a replica from rotation.
+	EjectAfter int
+	// ReadmitAfter is the up-threshold: this many consecutive successful
+	// probes readmit an ejected replica. Readmission is probe-driven only —
+	// an ejected replica receives no routed traffic to prove itself with.
+	ReadmitAfter int
+	// Client issues probe requests; nil uses a default with ProbeTimeout.
+	Client *http.Client
+}
+
+// DefaultPoolConfig: probe every second, eject after 3 consecutive
+// failures, readmit after 2 consecutive good probes.
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{
+		ProbeInterval: time.Second,
+		ProbeTimeout:  2 * time.Second,
+		EjectAfter:    3,
+		ReadmitAfter:  2,
+	}
+}
+
+// ReplicaState is one replica's health snapshot.
+type ReplicaState struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecFailures / ConsecSuccesses are the current hysteresis counters.
+	ConsecFailures  int `json:"consec_failures"`
+	ConsecSuccesses int `json:"consec_successes"`
+	// Probes / ProbeFailures count lifetime probe outcomes.
+	Probes        int `json:"probes"`
+	ProbeFailures int `json:"probe_failures"`
+	// Ejections counts healthy→unhealthy transitions.
+	Ejections int `json:"ejections"`
+}
+
+type replica struct {
+	name string
+	url  string
+
+	mu      sync.Mutex
+	state   ReplicaState
+	healthy bool
+}
+
+// Pool tracks a fixed set of replicas and their health. Membership is
+// static after construction (the ring depends on it for minimal key
+// movement); health is a dynamic filter over that membership.
+type Pool struct {
+	cfg      PoolConfig
+	client   *http.Client
+	replicas []*replica
+	byName   map[string]*replica
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	// onTransition, when set, runs after any health transition (both
+	// directions) with the replica name and its new health. The coordinator
+	// uses it to move gauges; tests use it to observe hysteresis.
+	onTransition func(name string, healthy bool)
+}
+
+// NewPool creates a pool over name→baseURL replicas. Replicas start
+// healthy: the fleet boots optimistic and ejects on evidence, so a cold
+// start does not shed every request while the first probe round runs.
+func NewPool(replicas map[string]string, cfg PoolConfig) *Pool {
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultPoolConfig().EjectAfter
+	}
+	if cfg.ReadmitAfter <= 0 {
+		cfg.ReadmitAfter = DefaultPoolConfig().ReadmitAfter
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultPoolConfig().ProbeTimeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.ProbeTimeout}
+	}
+	p := &Pool{
+		cfg:    cfg,
+		client: client,
+		byName: make(map[string]*replica, len(replicas)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Sorted iteration keeps replica order deterministic everywhere.
+	names := make([]string, 0, len(replicas))
+	for name := range replicas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := &replica{name: name, url: replicas[name], healthy: true}
+		r.state = ReplicaState{Name: name, URL: replicas[name], Healthy: true}
+		p.replicas = append(p.replicas, r)
+		p.byName[name] = r
+	}
+	return p
+}
+
+// SetTransitionHook installs the health-transition callback. Call before
+// Start.
+func (p *Pool) SetTransitionHook(fn func(name string, healthy bool)) { p.onTransition = fn }
+
+// Start launches the background prober (no-op when ProbeInterval ≤ 0).
+func (p *Pool) Start() {
+	if p.cfg.ProbeInterval <= 0 {
+		close(p.done)
+		return
+	}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ProbeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop terminates the prober and waits for it to exit.
+func (p *Pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// ProbeOnce probes every replica's /v1/stats once, sequentially in name
+// order (deterministic for tests; N is small). The stats endpoint — not
+// /healthz — is probed deliberately: it exercises the detector's ledgers,
+// so a replica that accepts TCP but cannot serve its API is ejected too.
+func (p *Pool) ProbeOnce(ctx context.Context) {
+	for _, r := range p.replicas {
+		err := p.probe(ctx, r)
+		if err != nil {
+			p.noteProbe(r, false)
+		} else {
+			p.noteProbe(r, true)
+		}
+	}
+}
+
+func (p *Pool) probe(ctx context.Context, r *replica) error {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/v1/stats", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: probe %s: status %d", r.name, resp.StatusCode)
+	}
+	return nil
+}
+
+func (p *Pool) noteProbe(r *replica, ok bool) {
+	r.mu.Lock()
+	r.state.Probes++
+	if !ok {
+		r.state.ProbeFailures++
+	}
+	transition, healthy := r.noteOutcomeLocked(ok, p.cfg)
+	r.mu.Unlock()
+	if transition && p.onTransition != nil {
+		p.onTransition(r.name, healthy)
+	}
+}
+
+// ReportRequest feeds a routed request's outcome into the hysteresis
+// counters: request failures accelerate ejection, but only probe successes
+// readmit (an ejected replica sees no requests). Unknown names are ignored.
+func (p *Pool) ReportRequest(name string, ok bool) {
+	r := p.byName[name]
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	transition, healthy := r.noteOutcomeLocked(ok, p.cfg)
+	r.mu.Unlock()
+	if transition && p.onTransition != nil {
+		p.onTransition(r.name, healthy)
+	}
+}
+
+// noteOutcomeLocked updates the hysteresis counters and returns whether a
+// health transition happened. Caller holds r.mu.
+func (r *replica) noteOutcomeLocked(ok bool, cfg PoolConfig) (transition, healthy bool) {
+	if ok {
+		r.state.ConsecFailures = 0
+		r.state.ConsecSuccesses++
+		if !r.healthy && r.state.ConsecSuccesses >= cfg.ReadmitAfter {
+			r.healthy = true
+			r.state.Healthy = true
+			return true, true
+		}
+	} else {
+		r.state.ConsecSuccesses = 0
+		r.state.ConsecFailures++
+		if r.healthy && r.state.ConsecFailures >= cfg.EjectAfter {
+			r.healthy = false
+			r.state.Healthy = false
+			r.state.Ejections++
+			return true, false
+		}
+	}
+	return false, r.healthy
+}
+
+// IsHealthy reports one replica's health (unknown names are unhealthy).
+func (p *Pool) IsHealthy(name string) bool {
+	r := p.byName[name]
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy
+}
+
+// URL returns a replica's base URL ("" for unknown names).
+func (p *Pool) URL(name string) string {
+	if r := p.byName[name]; r != nil {
+		return r.url
+	}
+	return ""
+}
+
+// Healthy returns the healthy replica names in deterministic (name) order.
+func (p *Pool) Healthy() []string {
+	var out []string
+	for _, r := range p.replicas {
+		r.mu.Lock()
+		ok := r.healthy
+		r.mu.Unlock()
+		if ok {
+			out = append(out, r.name)
+		}
+	}
+	return out
+}
+
+// Names returns every replica name in deterministic order.
+func (p *Pool) Names() []string {
+	out := make([]string, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Snapshot returns every replica's state in name order.
+func (p *Pool) Snapshot() []ReplicaState {
+	out := make([]ReplicaState, len(p.replicas))
+	for i, r := range p.replicas {
+		r.mu.Lock()
+		out[i] = r.state
+		r.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Exposition aggregation: merge several Prometheus text scrapes into one.
+// The fleet coordinator uses this to serve a fleet-wide /metrics that is
+// the element-wise sum of its replicas' scrapes — counters and histogram
+// buckets add up to fleet totals, and gauges add up to fleet-wide sizes
+// (cache entries, queue depths). Reuses the same line parser as CheckText.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// mergedSample is one output series while merging.
+type mergedSample struct {
+	name   string // full sample name (with _bucket/_sum/_count suffix)
+	ident  string // canonical label identity, le included
+	labels map[string]string
+	value  float64
+	order  int // first-seen order, for stable output grouped by metric
+}
+
+// MergeText sums any number of Prometheus text expositions into one:
+// samples with the same name and label set are added together; TYPE headers
+// are preserved and must agree across inputs. Series that appear in only
+// some inputs pass through (a replica that never exercised a code path
+// simply contributes zero). The output is valid exposition text — in
+// particular, summing preserves the cumulativity of histogram buckets — and
+// is ordered by metric name, then by label identity.
+func MergeText(texts ...string) (string, error) {
+	types := make(map[string]string)
+	var typeOrder []string
+	samples := make(map[string]*mergedSample) // name+ident → accumulated
+	order := 0
+
+	for ti, text := range texts {
+		for ln, line := range strings.Split(text, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "# HELP") {
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				fields := strings.Fields(line)
+				if len(fields) != 4 {
+					return "", fmt.Errorf("obs: input %d line %d: malformed TYPE line %q", ti, ln+1, line)
+				}
+				if prev, ok := types[fields[2]]; ok {
+					if prev != fields[3] {
+						return "", fmt.Errorf("obs: metric %s typed %s by one input and %s by another", fields[2], prev, fields[3])
+					}
+				} else {
+					types[fields[2]] = fields[3]
+					typeOrder = append(typeOrder, fields[2])
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return "", fmt.Errorf("obs: input %d line %d: %v", ti, ln+1, err)
+			}
+			ident := labelIdentity(labels)
+			key := name + "|" + ident
+			if s, ok := samples[key]; ok {
+				s.value += value
+			} else {
+				samples[key] = &mergedSample{name: name, ident: ident, labels: labels, value: value, order: order}
+				order++
+			}
+		}
+	}
+
+	// Group output by base metric in first-seen TYPE order, samples within a
+	// metric in first-seen order (which preserves each histogram's ascending
+	// `le` sequence from the inputs).
+	byBase := make(map[string][]*mergedSample)
+	for _, s := range samples {
+		base, _ := histBase(s.name, types)
+		byBase[base] = append(byBase[base], s)
+	}
+	var b strings.Builder
+	for _, base := range typeOrder {
+		group := byBase[base]
+		sort.Slice(group, func(i, j int) bool { return group[i].order < group[j].order })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, types[base])
+		for _, s := range group {
+			b.WriteString(renderSample(s))
+		}
+		delete(byBase, base)
+	}
+	// Samples whose metric never had a TYPE header (inputs are not required
+	// to be strictly valid): emit them untyped at the end, sorted.
+	var rest []string
+	for base := range byBase {
+		rest = append(rest, base)
+	}
+	sort.Strings(rest)
+	for _, base := range rest {
+		group := byBase[base]
+		sort.Slice(group, func(i, j int) bool { return group[i].order < group[j].order })
+		for _, s := range group {
+			b.WriteString(renderSample(s))
+		}
+	}
+	return b.String(), nil
+}
+
+func renderSample(s *mergedSample) string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	if len(s.labels) > 0 {
+		keys := make([]string, 0, len(s.labels))
+		for k := range s.labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, s.labels[k])
+		}
+		b.WriteByte('}')
+	}
+	// Counters and bucket counts are integral; render them without a
+	// mantissa so merged output matches WritePrometheus's integer style.
+	if s.value == float64(int64(s.value)) {
+		fmt.Fprintf(&b, " %d\n", int64(s.value))
+	} else {
+		fmt.Fprintf(&b, " %s\n", formatFloat(s.value))
+	}
+	return b.String()
+}

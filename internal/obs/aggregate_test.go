@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// registryText renders a registry to exposition text.
+func registryText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMergeTextSumsAcrossInputs(t *testing.T) {
+	mk := func(requests, degraded int64, latencies []float64, cacheSize int64) string {
+		r := NewRegistry()
+		r.Counter("taste_detect_requests_total", "outcome", "ok").Add(requests)
+		r.Counter("taste_detect_requests_total", "outcome", "degraded").Add(degraded)
+		h := r.Histogram("taste_detect_request_seconds", LatencyBuckets())
+		for _, v := range latencies {
+			h.Observe(v)
+		}
+		r.Gauge("taste_cache_size").Set(cacheSize)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	merged, err := MergeText(
+		mk(10, 2, []float64{0.001, 0.002}, 100),
+		mk(5, 0, []float64{0.004}, 40),
+		mk(1, 3, nil, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged exposition must itself be valid (cumulative buckets,
+	// matching _count, typed samples).
+	if err := CheckText(merged); err != nil {
+		t.Fatalf("merged text invalid: %v\n%s", err, merged)
+	}
+	for _, want := range []string{
+		`taste_detect_requests_total{outcome="ok"} 16`,
+		`taste_detect_requests_total{outcome="degraded"} 5`,
+		`taste_detect_request_seconds_count 3`,
+		`taste_cache_size 142`,
+	} {
+		if !strings.Contains(merged, want) {
+			t.Fatalf("merged text missing %q:\n%s", want, merged)
+		}
+	}
+}
+
+func TestMergeTextDisjointSeriesPassThrough(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("taste_only_in_a_total").Add(7)
+	b := NewRegistry()
+	b.Counter("taste_only_in_b_total").Add(9)
+	merged, err := MergeText(registryText(t, a), registryText(t, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(merged, "taste_only_in_a_total 7") || !strings.Contains(merged, "taste_only_in_b_total 9") {
+		t.Fatalf("disjoint series lost:\n%s", merged)
+	}
+	if err := CheckText(merged); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeTextTypeConflict(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("taste_conflicted").Inc()
+	b := NewRegistry()
+	b.Gauge("taste_conflicted").Set(1)
+	if _, err := MergeText(registryText(t, a), registryText(t, b)); err == nil {
+		t.Fatal("conflicting TYPE headers must be rejected")
+	}
+}
+
+func TestMergeTextMalformedInput(t *testing.T) {
+	if _, err := MergeText("taste_x{oops 1\n"); err == nil {
+		t.Fatal("malformed sample must be rejected")
+	}
+}
+
+func TestMergeTextIdempotentOnSingleInput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("taste_a_total", "k", "v").Add(3)
+	h := r.Histogram("taste_b_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	text := registryText(t, r)
+	merged, err := MergeText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckText(merged); err != nil {
+		t.Fatalf("single-input merge invalid: %v\n%s", err, merged)
+	}
+	for _, want := range []string{
+		`taste_a_total{k="v"} 3`,
+		`taste_b_seconds_bucket{le="+Inf"} 2`,
+		`taste_b_seconds_count 2`,
+	} {
+		if !strings.Contains(merged, want) {
+			t.Fatalf("missing %q:\n%s", want, merged)
+		}
+	}
+}

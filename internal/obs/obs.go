@@ -377,7 +377,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_bucket", [2]string{"le", "+Inf"}), cum[len(cum)-1])
 		fmt.Fprintf(&b, "%s %s\n", s.renderSuffixed("_sum"), formatFloat(h.Sum()))
-		fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_count"), h.Count())
+		// _count comes from the same snapshot as the buckets, not from
+		// h.Count(): a separate read would let concurrent observations land
+		// between the two and publish a _count that disagrees with the +Inf
+		// bucket — an exposition CheckText itself rejects.
+		fmt.Fprintf(&b, "%s %d\n", s.renderSuffixed("_count"), cum[len(cum)-1])
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

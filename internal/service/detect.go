@@ -1,0 +1,286 @@
+// The transport-agnostic detect core: request/response types plus the
+// Detect method that executes one detection request end-to-end — deadline
+// threading, execution-mode resolution, the degradation contract, outcome
+// metrics. The HTTP handler in service.go and any other front end (the
+// fleet harness drives it in-process; tests call it directly) share this
+// one code path, so single-node and fleet serving cannot drift apart.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/simdb"
+)
+
+// DetectRequest is the /v1/detect payload. PrepWorkers/InferWorkers, when
+// positive, override the service's default pool sizes for this pipelined
+// request; they are ignored when Pipelined is false. DeadlineMillis, when
+// positive, bounds the whole request: stages past the deadline degrade to
+// Phase-1 answers instead of running.
+type DetectRequest struct {
+	Database       string   `json:"database"`
+	Tables         []string `json:"tables,omitempty"` // empty = all tables
+	Pipelined      bool     `json:"pipelined"`
+	PrepWorkers    int      `json:"prep_workers,omitempty"`
+	InferWorkers   int      `json:"infer_workers,omitempty"`
+	DeadlineMillis int64    `json:"deadline_ms,omitempty"`
+	// Trace requests the span tree of this detection inline in the
+	// response: per-stage timings for every table, relative to request
+	// start.
+	Trace bool `json:"trace,omitempty"`
+	// Quantize, when set, overrides the process-wide int8 quantized-inference
+	// default (tasted -quantize) for this request: true opts in, false opts
+	// out. Ignored on CPUs without the required SIMD support and on requests
+	// served through the cross-request batcher, which always follows the
+	// process default.
+	Quantize *bool `json:"quantize,omitempty"`
+}
+
+// RouteKey is the consistent-hash key a fleet coordinator shards this
+// request by: the tenant database, refined to database/table for
+// single-table requests. Whole-database (and multi-table) batches stay on
+// one replica to reuse its connection; single-table requests — the common
+// API-gateway shape — spread across the fleet at the same granularity the
+// latent cache is keyed on (database.table), so each replica's cache stays
+// hot for the tables it owns.
+func (r *DetectRequest) RouteKey() string {
+	if len(r.Tables) == 1 {
+		return r.Database + "/" + r.Tables[0]
+	}
+	return r.Database
+}
+
+// DetectColumn is one column's outcome in a DetectResponse.
+type DetectColumn struct {
+	Column  string   `json:"column"`
+	Types   []string `json:"types"`
+	Phase   int      `json:"phase"`
+	Scanned bool     `json:"scanned"`
+	// Degraded marks a column whose Phase-2 answer was unavailable (scan
+	// failure, deadline); Types then carries the Phase-1 fallback.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradeReason explains the degradation.
+	DegradeReason string `json:"degrade_reason,omitempty"`
+}
+
+// DetectTable is one table's outcome.
+type DetectTable struct {
+	Table   string         `json:"table"`
+	Columns []DetectColumn `json:"columns"`
+	// Skipped marks a table the request deadline expired before reaching:
+	// no detection was attempted, Columns is empty, SkipReason explains.
+	Skipped    bool   `json:"skipped,omitempty"`
+	SkipReason string `json:"skip_reason,omitempty"`
+}
+
+// DetectResponse is the /v1/detect reply.
+type DetectResponse struct {
+	Database       string        `json:"database"`
+	Tables         []DetectTable `json:"tables"`
+	DurationMillis int64         `json:"duration_ms"`
+	TotalColumns   int           `json:"total_columns"`
+	ScannedColumns int           `json:"scanned_columns"`
+	// Degraded reports that at least one column fell back to Phase 1 or
+	// that the deadline cut the batch short.
+	Degraded bool `json:"degraded"`
+	// DegradedColumns counts columns answered by the degradation ladder.
+	DegradedColumns int `json:"degraded_columns"`
+	// Retries counts transient-error retries spent on this request.
+	Retries int      `json:"retries"`
+	Errors  []string `json:"errors,omitempty"`
+	// Trace is the request's span tree, present when the request set
+	// "trace": true.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
+}
+
+// APIError is a request failure with the HTTP status it maps to. Detect
+// returns one instead of writing to a ResponseWriter so non-HTTP front ends
+// can translate it themselves.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string { return e.Msg }
+
+func apiErrorf(status int, format string, args ...interface{}) *APIError {
+	return &APIError{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Detect executes one detection request end-to-end and returns the
+// (always-200) response, or an APIError for requests that cannot be
+// attempted at all (bad parameters, unknown tenant, non-deadline detection
+// failures). Deadline expiry is not an error: the response comes back
+// degraded per the DESIGN.md §7 ladder. Outcome metrics are recorded here,
+// so every transport shares one ledger.
+func (s *Service) Detect(ctx context.Context, req DetectRequest) (*DetectResponse, *APIError) {
+	resp, apiErr := s.detect(ctx, req)
+	if apiErr != nil {
+		detectOutcomes["error"].Inc()
+	}
+	return resp, apiErr
+}
+
+func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectResponse, *APIError) {
+	if req.DeadlineMillis < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, "deadline_ms must be ≥ 0")
+	}
+	server, ok := s.tenant(req.Database)
+	if !ok {
+		return nil, apiErrorf(http.StatusNotFound, "unknown database %q", req.Database)
+	}
+
+	if req.Quantize != nil {
+		ctx = core.WithQuantize(ctx, *req.Quantize)
+	}
+	var root *obs.Span
+	if req.Trace {
+		ctx, root = obs.NewTrace(ctx, "detect "+req.Database)
+	}
+	deadline := time.Duration(req.DeadlineMillis) * time.Millisecond
+	if deadline == 0 {
+		deadline = s.defaultDeadline
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	resp := &DetectResponse{Database: req.Database}
+	start := time.Now()
+	// finish stamps the duration and trace and records the request's
+	// outcome metrics.
+	finish := func() *DetectResponse {
+		elapsed := time.Since(start)
+		resp.DurationMillis = elapsed.Milliseconds()
+		if root != nil {
+			root.End()
+			node := root.Node()
+			resp.Trace = &node
+		}
+		outcome := "ok"
+		if resp.Degraded {
+			outcome = "degraded"
+		}
+		detectOutcomes[outcome].Inc()
+		detectRequestSeconds.ObserveDuration(elapsed)
+		if resp.TotalColumns > 0 {
+			detectScannedRatio.Observe(float64(resp.ScannedColumns) / float64(resp.TotalColumns))
+		}
+		return resp
+	}
+	if len(req.Tables) == 0 {
+		mode := core.SequentialMode
+		if req.Pipelined {
+			mode = s.defaultMode
+			mode.Pipelined = true
+			if req.PrepWorkers > 0 {
+				mode.PrepWorkers = req.PrepWorkers
+			}
+			if req.InferWorkers > 0 {
+				mode.InferWorkers = req.InferWorkers
+			}
+		}
+		rep, err := s.detector.DetectDatabase(ctx, server, req.Database, mode)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The deadline fired before any table resolved: still a
+				// valid, fully degraded response — not a server error.
+				resp.Degraded = true
+				resp.Errors = append(resp.Errors, err.Error())
+				return finish(), nil
+			}
+			return nil, apiErrorf(http.StatusInternalServerError, "detection failed: %v", err)
+		}
+		for _, tr := range rep.Tables {
+			resp.Tables = append(resp.Tables, toDetectTable(tr))
+		}
+		resp.TotalColumns = rep.TotalColumns
+		resp.ScannedColumns = rep.ScannedColumns
+		resp.DegradedColumns = rep.DegradedColumns
+		resp.Retries = rep.Retries
+		resp.Degraded = rep.DegradedColumns > 0
+		for _, e := range rep.Errors {
+			resp.Errors = append(resp.Errors, e.Error())
+			if errors.Is(e, context.DeadlineExceeded) {
+				resp.Degraded = true
+			}
+		}
+	} else {
+		var conn *simdb.Conn
+		var err error
+		if conn, err = server.Connect(ctx, req.Database); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				resp.Degraded = true
+				resp.Errors = append(resp.Errors, err.Error())
+				return finish(), nil
+			}
+			return nil, apiErrorf(http.StatusInternalServerError, "connect: %v", err)
+		}
+		defer conn.Close()
+		for i, table := range req.Tables {
+			if err := ctx.Err(); err != nil {
+				// The request context is dead: every further DetectTable
+				// call would fail identically, so stop issuing them and
+				// record the remaining tables as skipped rather than
+				// appending one duplicate error per table.
+				resp.Degraded = true
+				for _, rest := range req.Tables[i:] {
+					resp.Tables = append(resp.Tables, DetectTable{
+						Table: rest, Columns: []DetectColumn{},
+						Skipped: true, SkipReason: err.Error(),
+					})
+				}
+				resp.Errors = append(resp.Errors,
+					fmt.Sprintf("%v: skipped %d remaining tables", err, len(req.Tables)-i))
+				break
+			}
+			tr, err := s.detector.DetectTable(ctx, conn, req.Database, table)
+			if err != nil {
+				resp.Errors = append(resp.Errors, err.Error())
+				if errors.Is(err, context.DeadlineExceeded) {
+					resp.Degraded = true
+				}
+				continue
+			}
+			resp.Tables = append(resp.Tables, toDetectTable(tr))
+			resp.TotalColumns += len(tr.Columns)
+			resp.ScannedColumns += tr.ScannedColumns
+			resp.DegradedColumns += tr.DegradedColumns()
+			// Per-call retry counts, not a before/after diff of the global
+			// fault ledger: concurrent requests would otherwise leak their
+			// retries into each other's responses.
+			resp.Retries += tr.Retries
+		}
+		if resp.DegradedColumns > 0 {
+			resp.Degraded = true
+		}
+	}
+	return finish(), nil
+}
+
+func toDetectTable(tr *core.TableResult) DetectTable {
+	out := DetectTable{Table: tr.Table}
+	for _, c := range tr.Columns {
+		types := c.Admitted
+		if types == nil {
+			types = []string{}
+		}
+		out.Columns = append(out.Columns, DetectColumn{
+			Column:        c.Column,
+			Types:         types,
+			Phase:         c.Phase,
+			Scanned:       c.Phase == 2,
+			Degraded:      c.Degraded,
+			DegradeReason: c.DegradeReason,
+		})
+	}
+	return out
+}

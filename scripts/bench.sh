@@ -2,7 +2,7 @@
 # Runs the benchmark suites and emits JSON summaries (ns/op, B/op,
 # allocs/op per benchmark). Stdlib tooling only.
 #
-#   scripts/bench.sh [COMPUTE_OUT] [TRAIN_OUT] [QUANT_OUT]
+#   scripts/bench.sh [COMPUTE_OUT] [TRAIN_OUT] [QUANT_OUT] [FLEET_OUT]
 #
 # $1 (default BENCH_1.json) receives the compute-runtime set: matmul
 # kernels, attention forward, batched Phase-2 inference, end-to-end
@@ -22,11 +22,20 @@
 # summary says so instead ("parallel_speedups_suppressed"). That rule exists
 # because BENCH_1's par4 shards running no faster than par1 once looked like
 # a kernel regression but was simply a 1-CPU container.
+#
+# $4 (default BENCH_7.json) receives the fleet-serving set: the seeded load
+# generator (open- and closed-loop) driving an in-process 3-replica fleet
+# through the coordinator, reporting p50/p95/p99 latency, throughput, shed
+# rate, and the per-replica hit distribution — plus a deliberately
+# admission-capped run so the recorded shed rate is non-zero. Set
+# FLEET_ONLY=1 to run just this suite (it is the only one that trains a
+# model, so it dominates a full run's wall-clock).
 set -eu
 
 COMPUTE_OUT="${1:-BENCH_1.json}"
 TRAIN_OUT="${2:-BENCH_5.json}"
 QUANT_OUT="${3:-BENCH_6.json}"
+FLEET_OUT="${4:-BENCH_7.json}"
 cd "$(dirname "$0")/.."
 
 NCPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
@@ -139,6 +148,8 @@ END {
     : >"$TMP"
 }
 
+if [ "${FLEET_ONLY:-0}" != "1" ]; then
+
 # Compute-runtime set → $COMPUTE_OUT (ambient GOMAXPROCS = top of matrix).
 run "$TOPGP" ./internal/tensor 'BenchmarkMatMul$|BenchmarkMatMul64$|BenchmarkMatMulNTScores$|BenchmarkTrainStepRelease' 1s
 run "$TOPGP" ./internal/nn 'BenchmarkSelfAttention128$|BenchmarkTransformerBlock$' 1s
@@ -163,3 +174,47 @@ for gp in $MATRIX; do
     run "$gp" ./internal/adtd 'BenchmarkP2InferenceBatched$|BenchmarkP2InferenceBatchedQuant$' 1s
 done
 emit "$QUANT_OUT"
+
+fi # FLEET_ONLY
+
+# Fleet-serving set → $FLEET_OUT. Each tastebench -loadgen invocation boots
+# an in-process 3-replica fleet behind the coordinator, drives it with a
+# seeded workload (the request sequence is a pure function of the seed),
+# and prints one JSON record; this assembles them under the standard
+# header. Three shapes per matrix point: open-loop (Poisson arrivals —
+# shedding shows up honestly), closed-loop (saturating workers), and a
+# capacity-capped closed-loop run that provokes 429s so the shed-rate path
+# stays exercised end to end.
+TBENCH="$(mktemp -d)/tastebench"
+go build -o "$TBENCH" ./cmd/tastebench
+fleet_run() { # fleet_run <gomaxprocs> <extra flags...>
+    gp="$1"; shift
+    echo "bench: GOMAXPROCS=$gp tastebench -loadgen $*" >&2
+    GOMAXPROCS="$gp" "$TBENCH" -loadgen -fleet-replicas 3 -fleet-tables 40 \
+        -fleet-tenants 8 -loadgen-seed 7 "$@" >>"$TMP" || {
+        echo "bench: fleet loadgen FAILED" >&2
+        exit 1
+    }
+}
+for gp in $MATRIX; do
+    fleet_run "$gp" -loadgen-mode open -rate 40 -requests 120
+    fleet_run "$gp" -loadgen-mode closed -concurrency 8 -requests 120
+    fleet_run "$gp" -loadgen-mode closed -concurrency 12 -requests 120 -max-inflight 1 -queue-depth 0
+done
+rm -f "$TBENCH"
+{
+    printf '{\n  "platform": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+    printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
+    printf '  "cpus": %s,\n' "$NCPU"
+    printf '  "gomaxprocs_matrix": [%s],\n' "$(echo "$MATRIX" | tr ' ' ',')"
+    printf '  "gomaxprocs_skipped": [%s],\n' "$(echo "$SKIPPED" | tr ' ' ',')"
+    if [ -n "$SKIPPED" ]; then
+        printf '  "matrix_note": "gomaxprocs values [%s] exceed the %s available CPU(s) and were skipped",\n' "$SKIPPED" "$NCPU"
+    fi
+    printf '  "git_sha": "%s",\n' "$GITSHA"
+    printf '  "load_runs": [\n'
+    awk '{ lines[NR] = $0 } END { for (i = 1; i <= NR; i++) printf "    %s%s\n", lines[i], (i < NR ? "," : "") }' "$TMP"
+    printf '  ]\n}\n'
+} >"$FLEET_OUT"
+echo "bench: wrote $FLEET_OUT ($(grep -c '"name"' "$FLEET_OUT") entries)" >&2
+: >"$TMP"
