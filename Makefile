@@ -3,15 +3,16 @@
 GO ?= go
 
 # Packages whose concurrency the race detector must vet: the tensor
-# runtime's worker pool + arena, the latent cache, the pipelined scheduler,
-# the fault-injecting simdb, the HTTP service with its cross-request
-# micro-batcher, the lock-free metrics registry, the data-parallel
-# training runtime with its gradient workers (plus the two model packages
-# whose multi-worker training tests exercise it), the fleet coordinator
-# with its health prober and admission queue, and the shared retry core.
-RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/...
+# runtime's worker pool + arena, the sharded tiered cache with its
+# singleflight groups, the pipelined scheduler, the fault-injecting simdb,
+# the HTTP service with its cross-request micro-batcher, the lock-free
+# metrics registry, the data-parallel training runtime with its gradient
+# workers (plus the two model packages whose multi-worker training tests
+# exercise it), the fleet coordinator with its health prober and admission
+# queue, and the shared retry core.
+RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/cache/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/...
 
-.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-smoke metrics-smoke fleet-smoke clean
+.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-cache bench-smoke metrics-smoke fleet-smoke cache-smoke clean
 
 build:
 	$(GO) build ./...
@@ -40,10 +41,16 @@ metrics-smoke:
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
 
+# cache-smoke boots tasted with both cache tiers on, repeats a detect, and
+# asserts the warm response is byte-identical to the cold one while the
+# warm-hit counters on /metrics move (DESIGN.md §14).
+cache-smoke:
+	bash scripts/cache_smoke.sh
+
 # ci is the gate a pull request must pass: vet, build, the full test suite,
-# the race detector over every concurrent package, and the two serving
-# smoke tests.
-ci: vet test race metrics-smoke fleet-smoke
+# the race detector over every concurrent package, and the serving smoke
+# tests.
+ci: vet test race metrics-smoke fleet-smoke cache-smoke
 
 # race-all adds internal/core, whose fixture trains a model and needs a
 # far longer deadline under the race detector's ~10x slowdown.
@@ -55,17 +62,25 @@ race-all:
 # detection), the training-runtime set (BENCH_5.json: sharded Adam and
 # one fine-tuning epoch, serial vs four gradient workers), the
 # quantized-inference set (BENCH_6.json: int8 kernels back-to-back with
-# their fp64 counterparts across the GOMAXPROCS matrix), and the
+# their fp64 counterparts across the GOMAXPROCS matrix), the
 # fleet-serving set (BENCH_7.json: seeded open-/closed-loop load against
 # an in-process 3-replica fleet — latency quantiles, throughput, shed rate,
-# per-replica distribution).
+# per-replica distribution), and the tiered-cache set (BENCH_8.json:
+# cold vs warm detect p50/p99, result-cache speedup, byte parity, plus a
+# Zipf-skewed fleet load run).
 bench:
-	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json
+	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
 
 # bench-fleet re-records only BENCH_7.json (the fleet suite trains a model,
 # so it dominates a full bench run's wall-clock).
 bench-fleet:
-	FLEET_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json
+	FLEET_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
+
+# bench-cache re-records only BENCH_8.json: cold/warm latency quantiles for
+# the latent and result tiers, the measured hit-path speedup, and the
+# cache-friendly Zipf load-generator run.
+bench-cache:
+	CACHE_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
 
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # value, but it keeps the benchmark code from rotting between full runs.
@@ -77,4 +92,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json
+	rm -f BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json

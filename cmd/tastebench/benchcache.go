@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/adtd"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/service"
+	"repro/internal/simdb"
+)
+
+type benchCacheOpts struct {
+	tables   int
+	seed     int64
+	requests int
+}
+
+// benchCacheRecord is one BENCH_8 entry: latency quantiles for a cache
+// temperature, plus the tier counters proving which tier actually served
+// the pass. Speedup and parity ride on the warm rows.
+type benchCacheRecord struct {
+	Name       string  `json:"name"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Requests   int     `json:"requests"`
+	P50Millis  float64 `json:"p50_ms"`
+	P95Millis  float64 `json:"p95_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	LatentHits int64   `json:"latent_hits"`
+	ResultHits int64   `json:"result_hits"`
+	SpeedupP50 float64 `json:"speedup_p50_vs_cold,omitempty"`
+	Parity     string  `json:"parity,omitempty"`
+}
+
+// canonResponse is a response normalized for byte comparison: the only
+// legitimately run-dependent field (duration) zeroed, everything else as
+// served. Warm answers must be indistinguishable from cold ones.
+func canonResponse(resp *service.DetectResponse) (string, error) {
+	c := *resp
+	c.DurationMillis = 0
+	out, err := json.Marshal(&c)
+	return string(out), err
+}
+
+func benchQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// benchPass issues one single-table detect per planned request against svc
+// and returns per-request latencies (ms, sorted) plus the canonical
+// response per table.
+func benchPass(svc *service.Service, tables []string, requests int) ([]float64, map[string]string, error) {
+	latencies := make([]float64, 0, requests)
+	canon := make(map[string]string, len(tables))
+	for i := 0; i < requests; i++ {
+		table := tables[i%len(tables)]
+		start := time.Now()
+		resp, apiErr := svc.Detect(context.Background(), service.DetectRequest{
+			Database: "tenant", Tables: []string{table},
+		})
+		latencies = append(latencies, float64(time.Since(start))/float64(time.Millisecond))
+		if apiErr != nil {
+			return nil, nil, fmt.Errorf("detect %s: %s", table, apiErr.Msg)
+		}
+		c, err := canonResponse(resp)
+		if err != nil {
+			return nil, nil, err
+		}
+		if prev, ok := canon[table]; ok && prev != c {
+			return nil, nil, fmt.Errorf("table %s: response changed within one pass", table)
+		}
+		canon[table] = c
+	}
+	sort.Float64s(latencies)
+	return latencies, canon, nil
+}
+
+// runBenchCache measures the tiered cache end to end on one trained model:
+// a cold pass (every tier empty), a warm latent pass (latent tier hot,
+// result tier disabled), and a warm result pass (memoized responses). Each
+// pass's answers must be byte-identical to the cold ones — a cache that
+// changes results is not a cache. Prints one JSON line per pass.
+func runBenchCache(opts benchCacheOpts) error {
+	if opts.tables <= 0 {
+		opts.tables = 40
+	}
+	if opts.requests <= 0 {
+		opts.requests = 100
+	}
+
+	fmt.Fprintf(os.Stderr, "tastebench: benchcache: training model on %d tables (seed %d)\n", opts.tables, opts.seed)
+	ds := corpus.Generate(corpus.DefaultRegistry(), corpus.WikiTableProfile(opts.tables), opts.seed)
+	tok := adtd.BuildVocabulary(ds.Train, ds.Registry.Names(), 4000)
+	types := adtd.NewTypeSpace(ds.Registry.Names())
+	model, err := adtd.New(adtd.ReproScale(), tok, types, opts.seed)
+	if err != nil {
+		return err
+	}
+	tcfg := adtd.DefaultTrainConfig()
+	tcfg.Epochs = 1
+	if _, err := adtd.FineTune(model, ds.Train, tcfg); err != nil {
+		return err
+	}
+
+	server := simdb.NewServer(simdb.NoLatency)
+	server.LoadTables("tenant", ds.Test)
+	tables := make([]string, len(ds.Test))
+	for i, t := range ds.Test {
+		tables[i] = t.Name
+	}
+
+	newSvc := func(resultBytes int64) (*service.Service, *core.Detector, error) {
+		dopts := core.DefaultOptions()
+		dopts.ResultCacheBytes = resultBytes
+		det, err := core.NewDetector(model, dopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		svc := service.New(det)
+		svc.RegisterTenant("tenant", server)
+		return svc, det, nil
+	}
+
+	// Full tiers: its first pass is the cold baseline, its second the
+	// memoized warm pass.
+	svcFull, detFull, err := newSvc(16 << 20)
+	if err != nil {
+		return err
+	}
+	// Latent tier only: isolates the mid-tier speedup (metadata tower
+	// skipped, content inference still paid).
+	svcLatent, detLatent, err := newSvc(0)
+	if err != nil {
+		return err
+	}
+
+	coldLat, coldCanon, err := benchPass(svcFull, tables, len(tables))
+	if err != nil {
+		return fmt.Errorf("cold pass: %w", err)
+	}
+	warmResLat, warmResCanon, err := benchPass(svcFull, tables, opts.requests)
+	if err != nil {
+		return fmt.Errorf("warm result pass: %w", err)
+	}
+	if _, _, err := benchPass(svcLatent, tables, len(tables)); err != nil {
+		return fmt.Errorf("latent prime pass: %w", err)
+	}
+	warmLatLat, warmLatCanon, err := benchPass(svcLatent, tables, opts.requests)
+	if err != nil {
+		return fmt.Errorf("warm latent pass: %w", err)
+	}
+
+	parity := func(warm map[string]string) string {
+		for table, cold := range coldCanon {
+			if warm[table] != cold {
+				return "MISMATCH:" + table
+			}
+		}
+		return "ok"
+	}
+	parityRes, parityLat := parity(warmResCanon), parity(warmLatCanon)
+
+	fullStats, latentStats := detFull.Cache().Stats(), detLatent.Cache().Stats()
+	resultStats := detFull.Results().Stats()
+
+	coldP50 := benchQuantile(coldLat, 0.50)
+	emit := func(rec benchCacheRecord) error {
+		out, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	if err := emit(benchCacheRecord{
+		Name: "cache/cold", GoMaxProcs: gmp, Requests: len(coldLat),
+		P50Millis: coldP50, P95Millis: benchQuantile(coldLat, 0.95), P99Millis: benchQuantile(coldLat, 0.99),
+	}); err != nil {
+		return err
+	}
+	warmResP50 := benchQuantile(warmResLat, 0.50)
+	speedup := 0.0
+	if warmResP50 > 0 {
+		speedup = coldP50 / warmResP50
+	}
+	if err := emit(benchCacheRecord{
+		Name: "cache/warm_result", GoMaxProcs: gmp, Requests: len(warmResLat),
+		P50Millis: warmResP50, P95Millis: benchQuantile(warmResLat, 0.95), P99Millis: benchQuantile(warmResLat, 0.99),
+		LatentHits: fullStats.Hits, ResultHits: resultStats.Hits,
+		SpeedupP50: speedup, Parity: parityRes,
+	}); err != nil {
+		return err
+	}
+	if err := emit(benchCacheRecord{
+		Name: "cache/warm_latent", GoMaxProcs: gmp, Requests: len(warmLatLat),
+		P50Millis: benchQuantile(warmLatLat, 0.50), P95Millis: benchQuantile(warmLatLat, 0.95), P99Millis: benchQuantile(warmLatLat, 0.99),
+		LatentHits: latentStats.Hits,
+		Parity:     parityLat,
+	}); err != nil {
+		return err
+	}
+
+	if parityRes != "ok" || parityLat != "ok" {
+		return fmt.Errorf("cache parity violated (result=%s latent=%s)", parityRes, parityLat)
+	}
+	if resultStats.Hits == 0 {
+		return fmt.Errorf("warm pass produced zero result-cache hits")
+	}
+	if latentStats.Hits == 0 {
+		return fmt.Errorf("warm latent pass produced zero latent-cache hits")
+	}
+	if speedup < 5 {
+		fmt.Fprintf(os.Stderr, "tastebench: benchcache: warning: warm p50 speedup %.1fx < 5x target\n", speedup)
+	} else {
+		fmt.Fprintf(os.Stderr, "tastebench: benchcache: warm result-cache p50 %.3fms vs cold %.3fms (%.1fx)\n", warmResP50, coldP50, speedup)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/fleet"
@@ -12,6 +13,8 @@ import (
 
 type loadgenOpts struct {
 	mode           string
+	dist           string
+	zipfS          float64
 	rate           float64
 	concurrency    int
 	requests       int
@@ -34,6 +37,8 @@ type loadgenRecord struct {
 	GoMaxProcs  int               `json:"gomaxprocs"`
 	Replicas    int               `json:"replicas"`
 	Tenants     int               `json:"tenants"`
+	Dist        string            `json:"dist,omitempty"`
+	ZipfS       float64           `json:"zipf_s,omitempty"`
 	Rate        float64           `json:"rate_rps,omitempty"`
 	Concurrency int               `json:"concurrency,omitempty"`
 	MaxInFlight int               `json:"max_inflight,omitempty"`
@@ -49,6 +54,7 @@ func runLoadgen(opts loadgenOpts) error {
 	baseURL := opts.target
 	targets := map[string][]string{"demo": nil} // tasted's default tenant
 	replicas := 1
+	var replicaNames []string
 	if baseURL == "" {
 		fmt.Fprintf(os.Stderr, "tastebench: booting %d-replica in-process fleet (%d tables, %d tenants)\n",
 			opts.replicas, opts.tables, opts.tenants)
@@ -69,25 +75,36 @@ func runLoadgen(opts loadgenOpts) error {
 		baseURL = h.CoordinatorURL
 		targets = h.TenantTables
 		replicas = opts.replicas
+		for name := range h.ReplicaURLs {
+			replicaNames = append(replicaNames, name)
+		}
+		sort.Strings(replicaNames)
 	}
 
 	start := time.Now()
 	rep, err := fleet.RunLoad(baseURL, fleet.LoadConfig{
 		Mode:           opts.mode,
+		Dist:           opts.dist,
+		ZipfS:          opts.zipfS,
 		Rate:           opts.rate,
 		Concurrency:    opts.concurrency,
 		Requests:       opts.requests,
 		Seed:           opts.seed,
 		Targets:        targets,
 		DeadlineMillis: opts.deadlineMillis,
+		Replicas:       replicaNames,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "tastebench: load run done in %v\n", time.Since(start).Round(time.Millisecond))
 
+	name := "fleet_load/" + opts.mode
+	if opts.dist == "zipf" {
+		name += "/zipf"
+	}
 	rec := loadgenRecord{
-		Name:       "fleet_load/" + opts.mode,
+		Name:       name,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Replicas:   replicas,
 		Tenants:    len(targets),
@@ -98,6 +115,10 @@ func runLoadgen(opts loadgenOpts) error {
 		rec.Rate = opts.rate
 	} else {
 		rec.Concurrency = opts.concurrency
+	}
+	if opts.dist == "zipf" {
+		rec.Dist = opts.dist
+		rec.ZipfS = opts.zipfS
 	}
 	if opts.maxInFlight > 0 {
 		rec.MaxInFlight = opts.maxInFlight

@@ -47,6 +47,8 @@ func main() {
 
 		loadgen       = flag.Bool("loadgen", false, "run the fleet load generator instead of the experiments (see -loadgen-* flags)")
 		loadgenMode   = flag.String("loadgen-mode", "closed", "arrival process: open (Poisson at -rate req/s) or closed (-concurrency workers, zero think time)")
+		loadgenDist   = flag.String("loadgen-dist", "uniform", "target-draw distribution: uniform or zipf (skewed toward a few hot tables — the cache-effectiveness workload)")
+		loadgenZipfS  = flag.Float64("zipf-s", 1.2, "Zipf skew exponent for -loadgen-dist zipf (must be > 1)")
 		loadgenRate   = flag.Float64("rate", 20, "open-loop arrival rate, requests/second")
 		loadgenConc   = flag.Int("concurrency", 4, "closed-loop worker count")
 		loadgenReqs   = flag.Int("requests", 100, "total requests per load run")
@@ -58,11 +60,23 @@ func main() {
 		fleetInflight = flag.Int("max-inflight", 0, "coordinator admission cap (0 = default 64; lower it with -queue-depth 0 to provoke shedding)")
 		fleetQueue    = flag.Int("queue-depth", 0, "coordinator admission queue depth")
 		loadgenTarget = flag.String("target", "", "drive an external coordinator/replica at this base URL instead of booting the in-process fleet")
+
+		benchcache = flag.Bool("benchcache", false, "run the tiered-cache benchmark (cold vs warm detect latency + byte parity) and print BENCH_8-format JSON lines")
 	)
 	flag.Parse()
+	if *benchcache {
+		if err := runBenchCache(benchCacheOpts{
+			tables: *fleetTables, seed: *loadgenSeed, requests: *loadgenReqs,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "tastebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadgen {
 		if err := runLoadgen(loadgenOpts{
-			mode: *loadgenMode, rate: *loadgenRate, concurrency: *loadgenConc,
+			mode: *loadgenMode, dist: *loadgenDist, zipfS: *loadgenZipfS,
+			rate: *loadgenRate, concurrency: *loadgenConc,
 			requests: *loadgenReqs, seed: *loadgenSeed, deadlineMillis: *loadgenDeadl,
 			replicas: *fleetReplicas, tables: *fleetTables, tenants: *fleetTenants,
 			maxInFlight: *fleetInflight, queueDepth: *fleetQueue, target: *loadgenTarget,

@@ -54,6 +54,8 @@ func main() {
 		faultProb    = flag.Float64("fault-prob", 0, "demo tenant: probability of a transient fault per scan/query/connect (chaos mode)")
 		faultSeed    = flag.Int64("fault-seed", 1, "demo tenant: fault-injection seed")
 		quantize     = flag.Bool("quantize", false, "default /v1/detect requests to int8 quantized inference (lossy; requests can override via \"quantize\"; no-op without AVX2)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "latent-cache byte budget (0 disables the metadata-latent tier)")
+		resultCache  = flag.Int64("result-cache", 16<<20, "result-cache byte budget memoizing per-column detect outputs (0 disables; invalidated on any weight update)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*parallelism)
@@ -97,7 +99,10 @@ func main() {
 		log.Fatal("tasted: need -checkpoint or -train")
 	}
 
-	det, err := core.NewDetector(model, core.DefaultOptions())
+	opts := core.DefaultOptions()
+	opts.CacheBytes = *cacheBytes
+	opts.ResultCacheBytes = *resultCache
+	det, err := core.NewDetector(model, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func main() {
 	for i, r := range runs {
 		opts := taste.DefaultOptions()
 		if !r.caching {
-			opts.CacheCapacity = 0
+			opts.CacheBytes = 0
 		}
 		det, err := taste.NewDetector(model, opts)
 		if err != nil {

@@ -2,7 +2,6 @@ package adtd
 
 import (
 	"bytes"
-	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -361,58 +360,6 @@ func TestFixedWeightedLoss(t *testing.T) {
 	}
 }
 
-func TestLatentCacheLRU(t *testing.T) {
-	c := NewLatentCache(2)
-	enc := func() *MetaEncoding {
-		return &MetaEncoding{Layers: []*tensor.Tensor{tensor.New(1, 1)}, In: &MetaInput{}}
-	}
-	c.Put("a", enc())
-	c.Put("b", enc())
-	if c.Get("a") == nil {
-		t.Fatal("a should be cached")
-	}
-	c.Put("c", enc()) // evicts b (LRU)
-	if c.Get("b") != nil {
-		t.Fatal("b should have been evicted")
-	}
-	if c.Get("a") == nil || c.Get("c") == nil {
-		t.Fatal("a and c should remain")
-	}
-	cs := c.Stats()
-	if cs.Hits != 3 || cs.Misses != 1 {
-		t.Fatalf("hits/misses = %d/%d", cs.Hits, cs.Misses)
-	}
-	if cs.Evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", cs.Evictions)
-	}
-	c.Delete("a")
-	if c.Len() != 1 {
-		t.Fatalf("Len = %d after delete", c.Len())
-	}
-}
-
-func TestLatentCacheDisabled(t *testing.T) {
-	c := NewLatentCache(0)
-	c.Put("a", &MetaEncoding{})
-	if c.Get("a") != nil {
-		t.Fatal("capacity 0 must disable caching")
-	}
-}
-
-func TestLatentCacheDetaches(t *testing.T) {
-	c := NewLatentCache(4)
-	x := tensor.Param(1, 2)
-	x.Fill(3)
-	c.Put("k", &MetaEncoding{Layers: []*tensor.Tensor{x}, In: &MetaInput{}})
-	got := c.Get("k")
-	if got.Layers[0].RequiresGrad() {
-		t.Fatal("cached latents must be detached from the graph")
-	}
-	if got.Layers[0].Data[0] != 3 {
-		t.Fatal("cached data must be preserved")
-	}
-}
-
 func TestExtendTypesGrowsClassifiers(t *testing.T) {
 	m, _ := tinyModel(t)
 	before := m.Types.Len()
@@ -539,29 +486,6 @@ func TestConcurrentEvalInference(t *testing.T) {
 	close(errs)
 	for e := range errs {
 		t.Fatal(e)
-	}
-}
-
-func TestConcurrentCacheAccess(t *testing.T) {
-	c := NewLatentCache(16)
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				key := fmt.Sprintf("k%d", (w*7+i)%24)
-				if i%3 == 0 {
-					c.Put(key, &MetaEncoding{Layers: []*tensor.Tensor{tensor.New(1, 1)}, In: &MetaInput{}})
-				} else {
-					c.Get(key)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if c.Len() > 16 {
-		t.Fatalf("cache exceeded capacity: %d", c.Len())
 	}
 }
 

@@ -25,10 +25,11 @@ type ContentRequest struct {
 // batching only amortizes the per-kernel dispatch and classifier overhead.
 //
 // The batch's autograd graph — including any *fresh* metadata encodings the
-// requests reference — is released into the tensor arena before returning;
-// encodings obtained from LatentCache.Get are deep copies and are safe.
-// Callers must cache a fresh encoding (LatentCache.Put deep-copies) before
-// passing it here if they want it to survive the call.
+// requests reference — is released into the tensor arena before returning.
+// Encodings obtained from the latent cache (internal/cache) are graph-free
+// Detach views: their layers are leaves, so the release walk skips them and
+// cached latents survive. Callers who want a fresh encoding to survive must
+// hand it to the cache (whose Put consumes it) or CloneDetach it first.
 //
 // n is the per-column cell budget, as in PredictContent. The outer result
 // slice is indexed like reqs; each entry holds one probability row per

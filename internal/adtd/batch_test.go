@@ -1,13 +1,10 @@
 package adtd
 
 import (
-	"fmt"
 	"math"
-	"sync"
 	"testing"
 
 	"repro/internal/metafeat"
-	"repro/internal/tensor"
 )
 
 // TestPredictContentBatchMatchesUnbatched verifies the batched Phase-2 path
@@ -117,64 +114,3 @@ func TestPredictContentBatchReleasesFreshEncodings(t *testing.T) {
 	}
 }
 
-// TestLatentCachePutDeepCopies verifies that cached entries survive release
-// of the producing graph (the arena would otherwise recycle their buffers).
-func TestLatentCachePutDeepCopies(t *testing.T) {
-	m, ds := tinyModel(t)
-	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
-	menc := m.EncodeMetadata(m.Encoder().BuildMetaInput(info, false))
-	wantFirst := menc.Final().At(0, 0)
-	cache := NewLatentCache(4)
-	cache.Put("k", menc)
-	menc.Release()
-	got := cache.Get("k")
-	if got == nil {
-		t.Fatal("cache miss after Put")
-	}
-	if got.Final().Data == nil {
-		t.Fatal("cached encoding buffer was released with the source graph")
-	}
-	if got.Final().At(0, 0) != wantFirst {
-		t.Fatal("cached encoding corrupted by release of the source graph")
-	}
-}
-
-// TestLatentCacheConcurrentHammer drives Put/Get/Delete from many
-// goroutines against a small cache; run under -race this validates the
-// cache's locking (and that Put's deep copy happens outside the lock).
-func TestLatentCacheConcurrentHammer(t *testing.T) {
-	cache := NewLatentCache(8)
-	mkEnc := func(seed float64) *MetaEncoding {
-		l := tensor.New(4, 8)
-		l.Fill(seed)
-		return &MetaEncoding{Layers: []*tensor.Tensor{l}, In: &MetaInput{}}
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < 8; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				key := fmt.Sprintf("t%d", (w*7+i)%16)
-				switch i % 3 {
-				case 0:
-					cache.Put(key, mkEnc(float64(w)))
-				case 1:
-					if enc := cache.Get(key); enc != nil {
-						_ = enc.Final().At(0, 0) // cached data must stay readable
-					}
-				default:
-					cache.Delete(key)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	if cache.Len() > 8 {
-		t.Fatalf("cache overflowed capacity: %d", cache.Len())
-	}
-	cs := cache.Stats()
-	if cs.Hits+cs.Misses == 0 {
-		t.Fatal("hammer recorded no lookups")
-	}
-}

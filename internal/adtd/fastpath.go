@@ -17,9 +17,11 @@ import (
 
 // invalidatePacks drops every cached fast-path weight pack — the fp64
 // attention projections and all int8 quantized packs (attention, FF and
-// classifier/MLM linears); called whenever parameters may have changed in
-// place (grad-mode flips, checkpoint loads) so the next fast forward repacks
-// fresh weights.
+// classifier/MLM linears) — and bumps the weight generation that versions
+// memoized model outputs; called whenever parameters may have changed in
+// place (grad-mode flips, checkpoint loads, feedback updates) so the next
+// fast forward repacks fresh weights and stale cached predictions stop
+// resolving.
 func (m *Model) invalidatePacks() {
 	for _, b := range m.Blocks {
 		b.InvalidateFastPath()
@@ -27,6 +29,7 @@ func (m *Model) invalidatePacks() {
 	m.MetaCls.InvalidateFastPath()
 	m.ContCls.InvalidateFastPath()
 	m.MLMHead.InvalidateFastPath()
+	m.gen.Add(1)
 }
 
 // evalFast reports whether the model-level fused inference path may be
@@ -147,8 +150,8 @@ func (m *Model) contentLogitsWS(ws *tensor.Workspace, x *tensor.Tensor, rowBase 
 // predictContentBatchFast is the fused PredictContentBatch: one workspace
 // for the whole batch, scratch-resident masks and classifier features, and
 // the same release contract as the composed path (fresh metadata encodings
-// reachable from the logits' parents are recycled; cached deep copies are
-// leaves and survive). quantize, when non-nil, overrides the process-wide
+// reachable from the logits' parents are recycled; cached graph-free entries
+// are leaves and survive). quantize, when non-nil, overrides the process-wide
 // quantization default for this batch.
 func (m *Model) predictContentBatchFast(reqs []ContentRequest, n int, quantize *bool) [][][]float64 {
 	ws := tensor.AcquireWorkspace()

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"time"
 
+	"sync/atomic"
+
 	"repro/internal/metafeat"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -41,8 +43,19 @@ type Model struct {
 	// weighted loss (§4.4).
 	LossW *tensor.Tensor
 
+	// gen counts weight-mutating events (grad-mode flips, checkpoint loads,
+	// feedback updates). Result-cache keys embed it, so bumping it orphans
+	// every memoized prediction in O(1) — the same contract the fast-path
+	// weight packs follow via invalidatePacks.
+	gen atomic.Uint64
+
 	enc Encoder
 }
+
+// Generation returns the model's weight generation. It changes whenever
+// the weights may have changed in place; anything memoizing model outputs
+// must key on it.
+func (m *Model) Generation() uint64 { return m.gen.Load() }
 
 // New creates a randomly initialized ADTD model.
 func New(cfg Config, tok *tokenizer.Tokenizer, types *TypeSpace, seed int64) (*Model, error) {

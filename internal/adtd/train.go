@@ -222,6 +222,10 @@ func (m *Model) ApplyFeedback(examples []FeedbackExample, lr float64, steps int)
 		for _, p := range heads {
 			p.SetRequiresGrad(false)
 		}
+		// The SGD steps mutated head weights in place behind the model-level
+		// setGrad hooks, so packed fast-path weights and any memoized
+		// predictions are stale — invalidate them like SetTrain/Load do.
+		m.invalidatePacks()
 	}()
 	opt := tensor.NewSGD(heads, lr, 0.9)
 	for s := 0; s < steps; s++ {

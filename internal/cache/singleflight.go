@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Group coalesces concurrent executions of the same computation: while one
+// caller (the leader) runs fn for a key, later callers with the same key
+// (followers) block and receive the leader's result instead of recomputing.
+// It is a stdlib-only, context-aware, generic reimplementation of the
+// classic singleflight pattern, with panic containment — a panicking leader
+// surfaces an error to every waiter instead of deadlocking them.
+//
+// In the serving path the key is the fleet route key plus the canonical
+// request body, so dedup fires exactly where the fleet's consistent-hash
+// routing concentrates identical traffic on one replica.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+
+	leaders   atomic.Int64
+	coalesced atomic.Int64
+	counter   *obs.Counter // optional taste_cache_coalesced_total handle
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// FlightStats is a snapshot of a Group's counters for /v1/stats.
+type FlightStats struct {
+	// Leaders counts executions that actually ran fn.
+	Leaders int64 `json:"leaders"`
+	// Coalesced counts callers served by another caller's execution.
+	Coalesced int64 `json:"coalesced"`
+	// InFlight is the number of keys currently executing.
+	InFlight int `json:"in_flight"`
+}
+
+// NewGroup creates a Group. coalesced, when non-nil, is incremented once
+// per coalesced caller (wire it to MetricCoalesced on the serving
+// registry).
+func NewGroup[V any](coalesced *obs.Counter) *Group[V] {
+	return &Group[V]{calls: make(map[string]*call[V]), counter: coalesced}
+}
+
+// Do executes fn for key, coalescing with an in-flight execution of the
+// same key. shared reports whether the result came from another caller's
+// execution. A follower whose ctx dies while waiting returns ctx.Err()
+// without cancelling the leader (other waiters may still want the result).
+func (g *Group[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		if g.counter != nil {
+			g.counter.Inc()
+		}
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	g.leaders.Add(1)
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = fmt.Errorf("singleflight: leader panicked: %v", r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Stats returns a snapshot of the group's counters.
+func (g *Group[V]) Stats() FlightStats {
+	g.mu.Lock()
+	inFlight := len(g.calls)
+	g.mu.Unlock()
+	return FlightStats{
+		Leaders:   g.leaders.Load(),
+		Coalesced: g.coalesced.Load(),
+		InFlight:  inFlight,
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/metafeat"
+)
+
+// admittedByColumn flattens a report into column → admitted-types for
+// cross-run comparison.
+func admittedByColumn(rep *Report) map[string]string {
+	out := make(map[string]string)
+	for _, tr := range rep.Tables {
+		for _, c := range tr.Columns {
+			out[tr.Table+"."+c.Column] = strings.Join(c.Admitted, ",")
+		}
+	}
+	return out
+}
+
+// TestResultCacheMemoizesDetect: a repeat detect over unchanged metadata is
+// served from the content-hash result cache — the second run records result
+// hits and admits exactly the same types per column.
+func TestResultCacheMemoizesDetect(t *testing.T) {
+	m, ds := trainedModel(t)
+	opts := DefaultOptions()
+	opts.ResultCacheBytes = 16 << 20
+	d, err := NewDetector(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(ds)
+
+	rep1, err := d.DetectDatabase(context.Background(), srv, "tenant", SequentialMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := d.Results().Stats()
+	if cold.Hits != 0 {
+		t.Fatalf("cold run reported %d result hits", cold.Hits)
+	}
+	if cold.Misses == 0 || cold.Entries == 0 {
+		t.Fatalf("cold run did not populate the result cache: %+v", cold)
+	}
+
+	rep2, err := d.DetectDatabase(context.Background(), srv, "tenant", SequentialMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := d.Results().Stats()
+	if warm.Hits == 0 {
+		t.Fatal("warm run never hit the result cache")
+	}
+	a1, a2 := admittedByColumn(rep1), admittedByColumn(rep2)
+	if len(a1) != len(a2) {
+		t.Fatalf("column count changed across runs: %d vs %d", len(a1), len(a2))
+	}
+	for k, v := range a1 {
+		if a2[k] != v {
+			t.Fatalf("memoization changed %s: %q vs %q", k, v, a2[k])
+		}
+	}
+}
+
+// TestGenerationInvalidatesKeys: a Save/Load round trip restores identical
+// weights but bumps the model generation, so every latent and result key is
+// orphaned in O(1) — no stale memoized answer can survive a checkpoint
+// reload, even one that happens to restore the same parameters.
+func TestGenerationInvalidatesKeys(t *testing.T) {
+	m, ds := trainedModel(t)
+	opts := DefaultOptions()
+	opts.ResultCacheBytes = 16 << 20
+	d, err := NewDetector(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(ds)
+	if _, err := d.DetectDatabase(context.Background(), srv, "tenant", SequentialMode); err != nil {
+		t.Fatal(err)
+	}
+
+	chunk := &metafeat.TableInfo{
+		Name:     "t",
+		RowCount: 3,
+		Columns:  []*metafeat.ColumnInfo{{Name: "c", DataType: "text"}},
+	}
+	latentBefore := d.cacheKey("tenant", "t", 0, false)
+	resultBefore := d.metaResultKey(chunk, false)
+	genBefore := m.Generation()
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() <= genBefore {
+		t.Fatalf("generation not bumped by Load: %d -> %d", genBefore, m.Generation())
+	}
+	if d.cacheKey("tenant", "t", 0, false) == latentBefore {
+		t.Fatal("latent cache key unchanged after Load")
+	}
+	if d.metaResultKey(chunk, false) == resultBefore {
+		t.Fatal("result cache key unchanged after Load")
+	}
+
+	// The post-Load detect must recompute: its result-cache traffic is all
+	// misses even though the restored weights are bit-identical.
+	hitsBefore := d.Results().Stats().Hits
+	if _, err := d.DetectDatabase(context.Background(), srv, "tenant", SequentialMode); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Results().Stats().Hits; got != hitsBefore {
+		t.Fatalf("post-Load detect hit stale result entries: %d -> %d hits", hitsBefore, got)
+	}
+}
+
+// TestFeedbackBumpsGeneration: an online feedback update changes the
+// weights, so it must advance the generation and thereby orphan cached
+// latents and memoized results.
+func TestFeedbackBumpsGeneration(t *testing.T) {
+	m, ds := trainedModel(t)
+	d, err := NewDetector(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	before := m.Generation()
+	if err := d.Feedback(info, 0, ds.Test[0].Columns[0].Labels); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() <= before {
+		t.Fatalf("generation not bumped by Feedback: %d -> %d", before, m.Generation())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/adtd"
+	"repro/internal/cache"
 	"repro/internal/corpus"
 	"repro/internal/metafeat"
 	"repro/internal/obs"
@@ -60,9 +61,18 @@ type Options struct {
 	// AdmitThreshold is the Phase-2 admission threshold on content-tower
 	// probabilities.
 	AdmitThreshold float64
-	// CacheCapacity bounds the latent cache; 0 disables caching ("Taste
-	// w/o caching").
-	CacheCapacity int
+	// CacheBytes bounds the latent cache's accounted memory (sized from the
+	// cached encodings' tensor dimensions); ≤ 0 disables latent caching
+	// ("Taste w/o caching").
+	CacheBytes int64
+	// ResultCacheBytes bounds the content-hash result cache that memoizes
+	// per-chunk model outputs across requests; ≤ 0 (the default) disables
+	// memoization. Serving surfaces opt in; experiment/ablation runs keep it
+	// off so every detect pays the model forwards it is measuring.
+	ResultCacheBytes int64
+	// CacheShards is the shard count for both cache tiers (rounded up to a
+	// power of two); ≤ 0 selects cache.DefaultShards.
+	CacheShards int
 
 	// MaxRetries caps how many times a transient database error is retried
 	// per operation (connect, metadata fetch, content scan) — and therefore
@@ -96,7 +106,7 @@ func DefaultOptions() Options {
 		SplitThreshold: 20,
 		Strategy:       simdb.FirstRows,
 		AdmitThreshold: 0.5,
-		CacheCapacity:  4096,
+		CacheBytes:     64 << 20,
 		MaxRetries:     3,
 		RetryBaseDelay: 2 * time.Millisecond,
 		RetryMaxDelay:  100 * time.Millisecond,
@@ -160,8 +170,9 @@ type Detector struct {
 	Model *adtd.Model
 	Opts  Options
 
-	cache *adtd.LatentCache
-	rules *ruledet.Detector
+	cache   *cache.Latent
+	results *cache.Result
+	rules   *ruledet.Detector
 
 	infMu      sync.RWMutex
 	contentInf ContentInferencer
@@ -182,11 +193,16 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 		return nil, err
 	}
 	model.SetEval()
+	latents := cache.NewLatent(opts.CacheBytes, opts.CacheShards)
+	latents.SetMetrics(cache.NewTierMetrics(obs.Default, "latent"))
+	results := cache.NewResult(opts.ResultCacheBytes, opts.CacheShards)
+	results.SetMetrics(cache.NewTierMetrics(obs.Default, "result"))
 	return &Detector{
-		Model: model,
-		Opts:  opts,
-		cache: adtd.NewLatentCache(opts.CacheCapacity),
-		rules: ruledet.Default(),
+		Model:   model,
+		Opts:    opts,
+		cache:   latents,
+		results: results,
+		rules:   ruledet.Default(),
 		retrier: retry.New(retry.Policy{
 			MaxRetries:     opts.MaxRetries,
 			BaseDelay:      opts.RetryBaseDelay,
@@ -196,8 +212,11 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 	}, nil
 }
 
-// Cache exposes the latent cache (for stats and tests).
-func (d *Detector) Cache() *adtd.LatentCache { return d.cache }
+// Cache exposes the latent cache tier (for stats and tests).
+func (d *Detector) Cache() *cache.Latent { return d.cache }
+
+// Results exposes the content-hash result cache tier (for stats and tests).
+func (d *Detector) Results() *cache.Result { return d.results }
 
 // SetContentInferencer routes Phase-2 content inference through ci; nil
 // restores the direct model call. Safe to call concurrently with detection,
@@ -414,8 +433,12 @@ type tableJob struct {
 	res       *TableResult
 }
 
-func (d *Detector) cacheKey(dbName, table string, chunk int) string {
-	return fmt.Sprintf("%s.%s#%d/h=%v", dbName, table, chunk, d.Opts.UseHistogram)
+// cacheKey identifies a chunk's latents in the latent cache. The model
+// generation prefix orphans every cached latent in O(1) when the weights
+// change (SetTrain, Load, ApplyFeedback), and the quantization flag keeps
+// int8 and fp64 latents from aliasing each other.
+func (d *Detector) cacheKey(dbName, table string, chunk int, quant bool) string {
+	return fmt.Sprintf("g%d/q%v/%s.%s#%d/h=%v", d.Model.Generation(), quant, dbName, table, chunk, d.Opts.UseHistogram)
 }
 
 // deadlineNear reports whether the request deadline has passed or is within
@@ -493,12 +516,32 @@ func (j *tableJob) s2InferMetadata(ctx context.Context) error {
 	}
 	opts := j.d.Opts
 	j.res = &TableResult{Table: j.table}
+	quant := j.d.effectiveQuantize(quantPref(ctx))
 	// Chunks cover the columns consecutively, so appending per chunk keeps
 	// p1Probs indexed by global column position.
 	for ci, chunk := range j.chunks {
+		// Result-cache fast path: the chunk's metadata hashes to a key that
+		// memoizes Phase 1's probability rows, so a repeat detect over
+		// unchanged metadata skips the metadata tower entirely. The latent
+		// cache keeps its (older) entry for this chunk, so a Phase-2 stage
+		// downstream still finds latents without recomputing them.
+		var rkey string
+		if j.d.results.Enabled() {
+			rkey = j.d.metaResultKey(chunk, quant)
+			if probs, ok := j.d.results.Get(rkey); ok {
+				j.p1Probs = append(j.p1Probs, probs...)
+				continue
+			}
+		}
 		menc, probs := j.d.Model.PredictMetaQ(chunk, opts.UseHistogram, quantPref(ctx))
-		j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci), menc) // deep-copies
-		menc.Release()
+		if !j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci, quant), menc) {
+			// Not consumed (disabled, oversized, or an equal entry already
+			// cached): the fresh graph goes back to the tensor arena.
+			menc.Release()
+		}
+		if rkey != "" {
+			j.d.results.Put(rkey, probs)
+		}
 		j.p1Probs = append(j.p1Probs, probs...)
 	}
 	for global, row := range j.p1Probs {
@@ -670,8 +713,27 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 	for _, g := range pending {
 		pendingSet[g] = true
 	}
+	// lquant is the flag the latents were produced under in s2 (per-request
+	// preference); cquant is what the content forward below actually runs
+	// with — the cross-request inferencer batches many contexts and always
+	// uses the process default. Both version the result key.
+	lquant := j.d.effectiveQuantize(quantPref(ctx))
+	cquant := lquant
+	hasInferencer := j.d.contentInferencer() != nil
+	if hasInferencer {
+		cquant = j.d.effectiveQuantize(nil)
+	}
+	applyRows := func(globals []int, rows [][]float64) {
+		for slot, g := range globals {
+			cr := &j.res.Columns[g]
+			cr.Phase = 2
+			cr.Probs = rows[slot]
+			cr.Admitted = j.d.admitted(rows[slot], opts.AdmitThreshold)
+		}
+	}
 	var reqs []adtd.ContentRequest
 	var globalsPerReq [][]int
+	var keysPerReq []string
 	for ci, chunk := range j.chunks {
 		var localCols []int
 		var globals []int
@@ -684,16 +746,28 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 		if len(localCols) == 0 {
 			continue
 		}
-		menc := j.d.cache.Get(j.d.cacheKey(j.dbName, j.table, ci))
+		// Result-cache fast path: the key hashes the chunk's metadata AND
+		// the scanned values, so changed table content yields a different
+		// key and stale memoized answers simply never resolve again.
+		var rkey string
+		if j.d.results.Enabled() {
+			rkey = j.d.contentResultKey(chunk, localCols, opts.CellsPerColumn, lquant, cquant)
+			if rows, ok := j.d.results.Get(rkey); ok && len(rows) == len(globals) {
+				applyRows(globals, rows)
+				continue
+			}
+		}
+		menc := j.d.cache.Get(j.d.cacheKey(j.dbName, j.table, ci, lquant))
 		if menc == nil {
 			// Cache disabled or evicted: pay the duplicate metadata-tower
 			// computation the latent cache exists to avoid (§4.2.2). The
 			// fresh encoding is released by the batch call below; cached
-			// encodings are deep copies and survive it.
+			// encodings are graph-free views and survive it.
 			menc = j.d.Model.EncodeMetadata(j.d.Model.Encoder().BuildMetaInput(chunk, opts.UseHistogram))
 		}
 		reqs = append(reqs, adtd.ContentRequest{Menc: menc, Table: chunk, Cols: localCols})
 		globalsPerReq = append(globalsPerReq, globals)
+		keysPerReq = append(keysPerReq, rkey)
 	}
 	if len(reqs) == 0 {
 		return nil
@@ -723,11 +797,11 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 		batch = j.d.Model.PredictContentBatchQ(reqs, opts.CellsPerColumn, quantPref(ctx))
 	}
 	for r, globals := range globalsPerReq {
-		for slot, g := range globals {
-			cr := &j.res.Columns[g]
-			cr.Phase = 2
-			cr.Probs = batch[r][slot]
-			cr.Admitted = j.d.admitted(batch[r][slot], opts.AdmitThreshold)
+		applyRows(globals, batch[r])
+		if keysPerReq[r] != "" {
+			// Memoize only full successes: degraded and error paths never
+			// reach here, so cached entries are always clean answers.
+			j.d.results.Put(keysPerReq[r], batch[r])
 		}
 	}
 	return nil
@@ -885,8 +959,8 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 		}
 	}
 	cs1 := d.cache.Stats()
-	rep.CacheHits = cs1.Hits - cs0.Hits
-	rep.CacheMisses = cs1.Misses - cs0.Misses
+	rep.CacheHits = int(cs1.Hits - cs0.Hits)
+	rep.CacheMisses = int(cs1.Misses - cs0.Misses)
 	return rep, nil
 }
 

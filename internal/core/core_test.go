@@ -294,7 +294,8 @@ func TestCacheDisabledStillCorrect(t *testing.T) {
 	m, ds := trainedModel(t)
 	withCache := DefaultOptions()
 	noCache := DefaultOptions()
-	noCache.CacheCapacity = 0
+	noCache.CacheBytes = 0
+	noCache.ResultCacheBytes = 0
 
 	d1, _ := NewDetector(m, withCache)
 	rep1, err := d1.DetectDatabase(context.Background(), newServer(ds), "tenant", SequentialMode)

@@ -207,7 +207,7 @@ func TestOptionsFromVariant(t *testing.T) {
 	}
 	v3 := DefaultTaste()
 	v3.Cache = false
-	if s.options(v3).CacheCapacity != 0 {
+	if s.options(v3).CacheBytes != 0 {
 		t.Fatal("cache disable not applied")
 	}
 }

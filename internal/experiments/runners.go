@@ -79,7 +79,8 @@ func (s *Suite) options(v TasteVariant) core.Options {
 	opts := core.DefaultOptions()
 	opts.UseHistogram = v.Hist
 	if !v.Cache {
-		opts.CacheCapacity = 0
+		opts.CacheBytes = 0
+		opts.ResultCacheBytes = 0
 	}
 	if v.Sampling {
 		opts.Strategy = simdb.RandomSample

@@ -416,6 +416,20 @@ func (c *Coordinator) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusServiceUnavailable, "no healthy replica")
 }
 
+// CacheTotals is the fleet-wide rollup of the replicas' tiered-cache
+// counters: hits/misses summed across every replica that answered its
+// stats scrape, with the derived hit rates the capacity dashboards watch.
+type CacheTotals struct {
+	LatentHits    int64   `json:"latent_hits"`
+	LatentMisses  int64   `json:"latent_misses"`
+	LatentHitRate float64 `json:"latent_hit_rate"`
+	ResultHits    int64   `json:"result_hits"`
+	ResultMisses  int64   `json:"result_misses"`
+	ResultHitRate float64 `json:"result_hit_rate"`
+	Coalesced     int64   `json:"coalesced"`
+	Bytes         int64   `json:"bytes"`
+}
+
 // StatsResponse is the coordinator's /v1/stats reply.
 type StatsResponse struct {
 	Replicas []ReplicaState `json:"replicas"`
@@ -432,6 +446,84 @@ type StatsResponse struct {
 		Nodes  []string `json:"nodes"`
 		Vnodes int      `json:"vnodes"`
 	} `json:"ring"`
+	// Caches holds each healthy replica's tiered-cache block, scraped from
+	// its /v1/stats in parallel with a short timeout; a replica that fails
+	// to answer is simply absent (and bumps the scrape-error counter).
+	Caches map[string]service.CacheBlock `json:"caches,omitempty"`
+	// CacheTotals rolls Caches up into fleet-wide hit rates.
+	CacheTotals *CacheTotals `json:"cache_totals,omitempty"`
+}
+
+// scrapeCaches collects the cache block from every healthy replica's
+// /v1/stats concurrently. The coordinator holds no cache state of its own:
+// the tiered caches live in the replicas, keyed at the same granularity
+// the ring routes on, so the fleet-wide view is a scrape-time rollup.
+func (c *Coordinator) scrapeCaches(ctx context.Context) map[string]service.CacheBlock {
+	healthy := c.pool.Healthy()
+	type scraped struct {
+		name  string
+		block service.CacheBlock
+		ok    bool
+	}
+	results := make([]scraped, len(healthy))
+	var wg sync.WaitGroup
+	for i, name := range healthy {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, c.pool.URL(name)+"/v1/stats", nil)
+			if err != nil {
+				c.scrapeErrsTotal.Inc()
+				return
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				c.scrapeErrsTotal.Inc()
+				return
+			}
+			defer resp.Body.Close()
+			var body struct {
+				Cache service.CacheBlock `json:"cache"`
+			}
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&body) != nil {
+				c.scrapeErrsTotal.Inc()
+				return
+			}
+			results[i] = scraped{name: name, block: body.Cache, ok: true}
+		}(i, name)
+	}
+	wg.Wait()
+	out := make(map[string]service.CacheBlock)
+	for _, r := range results {
+		if r.ok {
+			out[r.name] = r.block
+		}
+	}
+	return out
+}
+
+func rollupCaches(caches map[string]service.CacheBlock) *CacheTotals {
+	if len(caches) == 0 {
+		return nil
+	}
+	t := &CacheTotals{}
+	for _, b := range caches {
+		t.LatentHits += b.Latent.Hits
+		t.LatentMisses += b.Latent.Misses
+		t.ResultHits += b.Result.Hits
+		t.ResultMisses += b.Result.Misses
+		t.Coalesced += b.Flight.Coalesced
+		t.Bytes += b.Latent.Bytes + b.Result.Bytes
+	}
+	if n := t.LatentHits + t.LatentMisses; n > 0 {
+		t.LatentHitRate = float64(t.LatentHits) / float64(n)
+	}
+	if n := t.ResultHits + t.ResultMisses; n > 0 {
+		t.ResultHitRate = float64(t.ResultHits) / float64(n)
+	}
+	return t
 }
 
 func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -440,6 +532,8 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StatsResponse{Replicas: c.pool.Snapshot()}
+	resp.Caches = c.scrapeCaches(r.Context())
+	resp.CacheTotals = rollupCaches(resp.Caches)
 	resp.Routing.Routed = c.stats.Routed.Load()
 	resp.Routing.Shed = c.stats.Shed.Load()
 	resp.Routing.Unavailable = c.stats.Unavailable.Load()

@@ -30,6 +30,11 @@ type HarnessConfig struct {
 	// Coordinator tunes the fleet coordinator; Pool.ProbeInterval defaults
 	// to 200 ms when the whole struct is zero.
 	Coordinator Config
+	// DetectorOptions configures each replica's detector. Nil = the process
+	// defaults with the result cache switched on at 16 MiB — a serving
+	// fleet is exactly the deployment the memoization tier exists for, and
+	// the harness's repeated loadgen traffic should exercise it.
+	DetectorOptions *core.Options
 }
 
 // Harness is a fully wired local fleet: one trained model shared by
@@ -73,6 +78,11 @@ func StartLocal(cfg HarnessConfig) (*Harness, error) {
 	if cfg.Coordinator.Pool.ProbeInterval == 0 {
 		cfg.Coordinator.Pool = DefaultPoolConfig()
 		cfg.Coordinator.Pool.ProbeInterval = 200 * time.Millisecond
+	}
+	if cfg.DetectorOptions == nil {
+		opts := core.DefaultOptions()
+		opts.ResultCacheBytes = 16 << 20
+		cfg.DetectorOptions = &opts
 	}
 
 	// One model trained once; replicas share its (read-only at inference)
@@ -126,7 +136,7 @@ func StartLocal(cfg HarnessConfig) (*Harness, error) {
 
 	for i := 0; i < cfg.Replicas; i++ {
 		name := fmt.Sprintf("replica%02d", i)
-		det, err := core.NewDetector(model, core.DefaultOptions())
+		det, err := core.NewDetector(model, *cfg.DetectorOptions)
 		if err != nil {
 			return fail(fmt.Errorf("fleet harness: detector %s: %w", name, err))
 		}

@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -27,12 +29,18 @@ func TestHarnessEndToEnd(t *testing.T) {
 	}
 	defer h.Close()
 
+	replicas := make([]string, 0, len(h.ReplicaURLs))
+	for name := range h.ReplicaURLs {
+		replicas = append(replicas, name)
+	}
+	sort.Strings(replicas)
 	lcfg := LoadConfig{
 		Mode:        "closed",
 		Concurrency: 2,
 		Requests:    12,
 		Seed:        7,
 		Targets:     h.TenantTables,
+		Replicas:    replicas,
 	}
 	rep, err := RunLoad(h.CoordinatorURL, lcfg)
 	if err != nil {
@@ -55,6 +63,42 @@ func TestHarnessEndToEnd(t *testing.T) {
 		if rep.PerReplica[name] != n {
 			t.Fatalf("per-replica hits %v, ring predicts %v", rep.PerReplica, want)
 		}
+	}
+	// Schema stability: every started replica must appear in the report,
+	// even with zero hits.
+	for _, name := range replicas {
+		if _, ok := rep.PerReplica[name]; !ok {
+			t.Fatalf("started replica %q absent from per-replica report: %v", name, rep.PerReplica)
+		}
+	}
+
+	// The coordinator's /v1/stats must surface each replica's tiered-cache
+	// block and a fleet-wide rollup with real traffic in it.
+	sresp, err := http.Get(h.CoordinatorURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(stats.Caches) != len(replicas) {
+		t.Fatalf("coordinator scraped %d cache blocks, want %d: %v", len(stats.Caches), len(replicas), stats.Caches)
+	}
+	for _, name := range replicas {
+		if _, ok := stats.Caches[name]; !ok {
+			t.Fatalf("replica %q missing from coordinator cache stats", name)
+		}
+	}
+	if stats.CacheTotals == nil {
+		t.Fatal("coordinator cache rollup absent")
+	}
+	if stats.CacheTotals.LatentHits+stats.CacheTotals.LatentMisses == 0 {
+		t.Fatalf("no latent-cache traffic in fleet rollup: %+v", stats.CacheTotals)
+	}
+	if stats.CacheTotals.ResultHits+stats.CacheTotals.ResultMisses == 0 {
+		t.Fatalf("no result-cache traffic in fleet rollup: %+v", stats.CacheTotals)
 	}
 
 	resp, err := http.Get(h.CoordinatorURL + "/metrics")

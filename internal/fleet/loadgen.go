@@ -32,10 +32,23 @@ type LoadConfig struct {
 	// inter-arrival gaps derive from it alone.
 	Seed int64
 	// Targets is the tenant → tables catalogue requests are drawn from
-	// (uniformly, seeded). Empty tables ⇒ whole-database requests.
+	// (seeded). Empty tables ⇒ whole-database requests.
 	Targets map[string][]string
+	// Dist selects the target-draw distribution: "" or "uniform" draws
+	// tenant then table uniformly (the historical behaviour, RNG sequence
+	// preserved exactly); "zipf" draws (tenant, table) pairs from a seeded
+	// Zipf over the deterministically-sorted flattened catalogue — the
+	// skewed access pattern cache-effectiveness runs need.
+	Dist string
+	// ZipfS is the Zipf skew exponent (must be > 1; 0 = default 1.2).
+	ZipfS float64
 	// DeadlineMillis, when positive, is stamped on every request.
 	DeadlineMillis int64
+	// Replicas, when set, pre-seeds the report's per-replica hit
+	// distribution with an explicit zero for every started replica, so the
+	// per_replica block is schema-stable across runs: a replica that served
+	// nothing reports 0 instead of silently vanishing from the JSON.
+	Replicas []string
 	// Client issues requests; nil = default client, no timeout.
 	Client *http.Client
 }
@@ -71,7 +84,8 @@ type loadTarget struct {
 
 // planLoad draws the whole request sequence up front from one seeded rng,
 // so a (seed, config) pair always produces the identical workload
-// regardless of scheduling.
+// regardless of scheduling. The uniform path's draw order is load-bearing:
+// existing seeds must keep producing byte-identical plans.
 func planLoad(cfg LoadConfig) []loadTarget {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tenants := make([]string, 0, len(cfg.Targets))
@@ -79,13 +93,43 @@ func planLoad(cfg LoadConfig) []loadTarget {
 		tenants = append(tenants, t)
 	}
 	sort.Strings(tenants)
+
+	var flat []loadTarget
+	var zipf *rand.Zipf
+	if cfg.Dist == "zipf" {
+		// Flatten the catalogue in deterministic order so rank i is the
+		// same (tenant, table) for every run of a seed. Rank 0 — the Zipf
+		// mode — is the hottest key; with single-table targets that is one
+		// route key, i.e. one replica's cache gets the bulk of the traffic.
+		for _, tenant := range tenants {
+			tables := cfg.Targets[tenant]
+			if len(tables) == 0 {
+				flat = append(flat, loadTarget{database: tenant})
+				continue
+			}
+			for _, table := range tables {
+				flat = append(flat, loadTarget{database: tenant, table: table})
+			}
+		}
+		s := cfg.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		zipf = rand.NewZipf(rng, s, 1, uint64(len(flat)-1))
+	}
+
 	plan := make([]loadTarget, cfg.Requests)
 	for i := range plan {
-		tenant := tenants[rng.Intn(len(tenants))]
-		tables := cfg.Targets[tenant]
-		t := loadTarget{database: tenant}
-		if len(tables) > 0 {
-			t.table = tables[rng.Intn(len(tables))]
+		var t loadTarget
+		if zipf != nil {
+			t = flat[zipf.Uint64()]
+		} else {
+			tenant := tenants[rng.Intn(len(tenants))]
+			tables := cfg.Targets[tenant]
+			t = loadTarget{database: tenant}
+			if len(tables) > 0 {
+				t.table = tables[rng.Intn(len(tables))]
+			}
 		}
 		if cfg.Mode == "open" && cfg.Rate > 0 {
 			// Exponential inter-arrival ⇒ Poisson process at Rate.
@@ -126,6 +170,11 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, error) {
 		}
 	default:
 		return nil, fmt.Errorf("loadgen: unknown mode %q (open|closed)", cfg.Mode)
+	}
+	switch cfg.Dist {
+	case "", "uniform", "zipf":
+	default:
+		return nil, fmt.Errorf("loadgen: unknown dist %q (uniform|zipf)", cfg.Dist)
 	}
 	client := cfg.Client
 	if client == nil {
@@ -199,6 +248,13 @@ func RunLoad(baseURL string, cfg LoadConfig) (*LoadReport, error) {
 		Requests:        len(plan),
 		DurationSeconds: elapsed.Seconds(),
 		PerReplica:      make(map[string]int64),
+	}
+	// Every started replica appears in the distribution, explicitly zero if
+	// it served nothing — without this, a cold replica is indistinguishable
+	// from one that wasn't running, and the report's schema shifts run to
+	// run.
+	for _, name := range cfg.Replicas {
+		rep.PerReplica[name] = 0
 	}
 	var latencies []float64
 	completed := 0

@@ -141,6 +141,104 @@ func TestRunLoadOpenLoop(t *testing.T) {
 	}
 }
 
+// TestPlanLoadZipfDeterministicAndSkewed: the zipf distribution is a pure
+// function of (seed, config) and concentrates traffic on the rank-0 target
+// — the flattened catalogue's first (tenant, table) pair.
+func TestPlanLoadZipfDeterministicAndSkewed(t *testing.T) {
+	cfg := LoadConfig{
+		Mode: "closed", Requests: 2000, Seed: 42,
+		Targets: loadTargets(), Dist: "zipf", ZipfS: 1.2,
+	}
+	p1 := planLoad(cfg)
+	p2 := planLoad(cfg)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("same seed produced different zipf plans")
+	}
+	cfg.Seed = 43
+	if reflect.DeepEqual(p1, planLoad(cfg)) {
+		t.Fatal("different seeds produced identical zipf plans")
+	}
+
+	counts := make(map[string]int)
+	for _, tt := range p1 {
+		counts[tt.database+"/"+tt.table]++
+	}
+	// Rank 0 in the deterministic flat order (sorted tenants, tables in
+	// catalogue order) is tenant00/t0 — the Zipf mode.
+	hot := counts["tenant00/t0"]
+	for key, n := range counts {
+		if key != "tenant00/t0" && n >= hot {
+			t.Fatalf("rank-0 target not the hottest: tenant00/t0=%d, %s=%d", hot, key, n)
+		}
+	}
+	if hot < len(p1)/3 {
+		t.Fatalf("zipf(s=1.2) mode drew only %d/%d requests — not skewed", hot, len(p1))
+	}
+	// Every catalogue entry is reachable, including the whole-database one.
+	if counts["tenant02/"] == 0 {
+		t.Fatal("whole-database target never drawn")
+	}
+}
+
+// TestPlanLoadUniformSequencePreserved: the uniform path must keep its
+// historical RNG draw order — "" and "uniform" are byte-identical, so
+// existing recorded seeds (BENCH_7) keep reproducing the same workload.
+func TestPlanLoadUniformSequencePreserved(t *testing.T) {
+	base := LoadConfig{Mode: "closed", Requests: 300, Seed: 7, Targets: loadTargets()}
+	named := base
+	named.Dist = "uniform"
+	if !reflect.DeepEqual(planLoad(base), planLoad(named)) {
+		t.Fatal(`Dist:"uniform" diverged from the historical Dist:"" sequence`)
+	}
+	skewed := base
+	skewed.Dist = "zipf"
+	if reflect.DeepEqual(planLoad(base), planLoad(skewed)) {
+		t.Fatal("zipf plan identical to uniform — skew not applied")
+	}
+}
+
+// TestRunLoadRejectsUnknownDist: a typo'd distribution is a config error,
+// not a silent fallback to uniform.
+func TestRunLoadRejectsUnknownDist(t *testing.T) {
+	srv, _ := scriptedEndpoint([]int{200})
+	defer srv.Close()
+	_, err := RunLoad(srv.URL, LoadConfig{
+		Mode: "closed", Requests: 5, Seed: 1, Targets: loadTargets(), Dist: "warp",
+	})
+	if err == nil {
+		t.Fatal(`Dist:"warp" accepted`)
+	}
+}
+
+// TestRunLoadPerReplicaSchemaStable: every replica named in cfg.Replicas
+// appears in the report's per-replica distribution — explicitly zero when
+// it served nothing — so the per_replica JSON block has the same keys on
+// every run against the same fleet.
+func TestRunLoadPerReplicaSchemaStable(t *testing.T) {
+	srv, _ := scriptedEndpoint([]int{200})
+	defer srv.Close()
+	replicas := []string{"replica00", "replica01", "replica02", "replica-idle"}
+	rep, err := RunLoad(srv.URL, LoadConfig{
+		Mode: "closed", Concurrency: 1, Requests: 9, Seed: 3,
+		Targets: loadTargets(), Replicas: replicas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range replicas {
+		if _, ok := rep.PerReplica[name]; !ok {
+			t.Fatalf("started replica %q missing from per-replica report: %v", name, rep.PerReplica)
+		}
+	}
+	if rep.PerReplica["replica-idle"] != 0 {
+		t.Fatalf("idle replica credited %d hits", rep.PerReplica["replica-idle"])
+	}
+	// The scripted endpoint cycles replica00..02 across the 9 200s.
+	if rep.PerReplica["replica00"] != 3 || rep.PerReplica["replica01"] != 3 || rep.PerReplica["replica02"] != 3 {
+		t.Fatalf("per-replica distribution: %v", rep.PerReplica)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	if q := quantile(nil, 0.5); q != 0 {
 		t.Fatalf("empty quantile = %v", q)

@@ -8,6 +8,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -113,18 +114,63 @@ func apiErrorf(status int, format string, args ...interface{}) *APIError {
 	return &APIError{Status: status, Msg: fmt.Sprintf(format, args...)}
 }
 
+// flightResult is the unit singleflight shares between coalesced callers:
+// a detect outcome, success or API error alike.
+type flightResult struct {
+	resp   *DetectResponse
+	apiErr *APIError
+}
+
+// flightKey identifies identical detect requests for singleflight
+// coalescing. The route-key prefix matches the granularity the fleet
+// coordinator shards by, so on a replica the colliding traffic is exactly
+// the traffic routed to collide there; the canonical JSON body makes any
+// parameter difference (tables, deadline, mode, quantize) a different key.
+func flightKey(req DetectRequest) string {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "" // unkeyable: caller runs without coalescing
+	}
+	return req.RouteKey() + "\x00" + string(body)
+}
+
 // Detect executes one detection request end-to-end and returns the
 // (always-200) response, or an APIError for requests that cannot be
 // attempted at all (bad parameters, unknown tenant, non-deadline detection
 // failures). Deadline expiry is not an error: the response comes back
 // degraded per the DESIGN.md §7 ladder. Outcome metrics are recorded here,
 // so every transport shares one ledger.
+//
+// Concurrent identical requests are coalesced: while one execution is in
+// flight, callers with the same flightKey wait for its result instead of
+// recomputing all four stages. Traced requests bypass coalescing (their
+// response embeds a per-request span tree), as do requests whose body
+// cannot be canonicalized. A waiting caller whose context dies before the
+// leader finishes gets 503; the leader is never cancelled by followers.
 func (s *Service) Detect(ctx context.Context, req DetectRequest) (*DetectResponse, *APIError) {
-	resp, apiErr := s.detect(ctx, req)
-	if apiErr != nil {
-		detectOutcomes["error"].Inc()
+	run := func() flightResult {
+		resp, apiErr := s.detect(ctx, req)
+		if apiErr != nil {
+			detectOutcomes["error"].Inc()
+		}
+		return flightResult{resp: resp, apiErr: apiErr}
 	}
-	return resp, apiErr
+	key := ""
+	if !req.Trace {
+		key = flightKey(req)
+	}
+	if key == "" {
+		r := run()
+		return r.resp, r.apiErr
+	}
+	r, _, err := s.flight.Do(ctx, key, func() (flightResult, error) { return run(), nil })
+	if err != nil {
+		// Follower context died while waiting, or the leader panicked:
+		// nothing was computed for this caller.
+		detectOutcomes["error"].Inc()
+		return nil, apiErrorf(http.StatusServiceUnavailable, "coalesced request failed: %v", err)
+	}
+	return r.resp, r.apiErr
 }
 
 func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectResponse, *APIError) {

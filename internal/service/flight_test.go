@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestDetectCoalescesConcurrentIdenticalRequests: identical in-flight
+// detects share one execution — one leader runs the pipeline, followers
+// wait on its result, and every caller receives an equivalent response.
+func TestDetectCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	svc, _ := testService(t)
+	req := DetectRequest{Database: "tenantdb"}
+
+	const callers = 4
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		resps [callers]*DetectResponse
+	)
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			resp, apiErr := svc.Detect(context.Background(), req)
+			if apiErr != nil {
+				t.Errorf("caller %d: %v", i, apiErr)
+				return
+			}
+			resps[i] = resp
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	st := svc.CacheStats().Flight
+	if st.Leaders+st.Coalesced != callers {
+		t.Fatalf("flight ledger lost callers: %+v", st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("no concurrent identical request was coalesced: %+v", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("flights left open: %+v", st)
+	}
+
+	// Every caller must see the same answer. Followers share the leader's
+	// response verbatim; a second leader (if scheduling serialized some
+	// callers) recomputes, which must be byte-identical bar the duration.
+	canon := func(r *DetectResponse) string {
+		cp := *r
+		cp.DurationMillis = 0
+		b, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := canon(resps[0])
+	for i := 1; i < callers; i++ {
+		if got := canon(resps[i]); got != want {
+			t.Fatalf("caller %d diverged:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// TestDetectTraceBypassesFlight: traced requests are never coalesced —
+// each caller needs its own span tree.
+func TestDetectTraceBypassesFlight(t *testing.T) {
+	svc, _ := testService(t)
+	req := DetectRequest{Database: "tenantdb", Trace: true}
+	if _, apiErr := svc.Detect(context.Background(), req); apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	if st := svc.CacheStats().Flight; st.Leaders != 0 || st.Coalesced != 0 {
+		t.Fatalf("trace request entered the flight group: %+v", st)
+	}
+}

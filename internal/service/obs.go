@@ -25,17 +25,25 @@ var (
 	batcherPanicsTotal          = obs.Default.Counter("taste_batcher_panics_total")
 )
 
-// syncGauges mirrors externally-owned ledgers (the latent cache, the
+// syncGauges mirrors externally-owned ledgers (cache occupancy, the
 // detector's fault stats) into gauges right before a scrape, so /metrics
-// carries them without hooking every cache operation.
+// carries them without hooking every cache operation. Hit/miss/eviction
+// flows are counters owned by the cache tiers themselves
+// (taste_cache_*_total, tier=latent|result); only point-in-time state is
+// mirrored here.
 func (s *Service) syncGauges() {
-	cs := s.detector.Cache().Stats()
 	g := obs.Default.Gauge
-	g("taste_cache_hits").Set(int64(cs.Hits))
-	g("taste_cache_misses").Set(int64(cs.Misses))
-	g("taste_cache_evictions").Set(int64(cs.Evictions))
-	g("taste_cache_skipped_copies").Set(int64(cs.SkippedCopies))
-	g("taste_cache_size").Set(int64(s.detector.Cache().Len()))
+	for tier, st := range map[string]struct {
+		entries int
+		bytes   int64
+	}{
+		"latent": {s.detector.Cache().Len(), s.detector.Cache().Bytes()},
+		"result": {s.detector.Results().Len(), s.detector.Results().Bytes()},
+	} {
+		g("taste_cache_entries", "tier", tier).Set(int64(st.entries))
+		g("taste_cache_bytes", "tier", tier).Set(st.bytes)
+	}
+	g("taste_cache_skipped_copies").Set(s.detector.Cache().Stats().SkippedCopies)
 	fs := s.detector.FaultStats()
 	g("taste_detector_degraded_columns").Set(int64(fs.DegradedColumns))
 	if s.batcher != nil {

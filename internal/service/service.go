@@ -28,8 +28,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metafeat"
+	"repro/internal/obs"
 	"repro/internal/simdb"
 )
 
@@ -42,6 +44,7 @@ type Service struct {
 	defaultMode     core.ExecMode
 	defaultDeadline time.Duration
 	batcher         *Batcher
+	flight          *cache.Group[flightResult]
 }
 
 // New creates a service around a detector. Pipelined requests default to
@@ -52,6 +55,7 @@ func New(det *core.Detector) *Service {
 		detector:    det,
 		tenants:     make(map[string]*simdb.Server),
 		defaultMode: core.PipelinedMode(),
+		flight:      cache.NewGroup[flightResult](obs.Default.Counter(cache.MetricCoalesced)),
 	}
 }
 
@@ -213,16 +217,19 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// CacheBlock is the /v1/stats view of the tiered detection cache: both
+// tier snapshots plus the request-level singleflight counters. Exported so
+// the fleet coordinator can scrape and aggregate it per replica.
+type CacheBlock struct {
+	Latent cache.Stats       `json:"latent"`
+	Result cache.Stats       `json:"result"`
+	Flight cache.FlightStats `json:"singleflight"`
+}
+
 // StatsResponse is the /v1/stats reply.
 type StatsResponse struct {
 	Tenants map[string]simdb.AccountingSnapshot `json:"tenants"`
-	Cache   struct {
-		Hits          int `json:"hits"`
-		Misses        int `json:"misses"`
-		Evictions     int `json:"evictions"`
-		SkippedCopies int `json:"skipped_copies"`
-		Size          int `json:"size"`
-	} `json:"cache"`
+	Cache   CacheBlock                          `json:"cache"`
 	// Detector is the fault-tolerance ledger: retries spent and columns
 	// degraded since the service started.
 	Detector struct {
@@ -248,6 +255,17 @@ type BatcherStatsResponse struct {
 	Panics           int   `json:"panics"`
 }
 
+// CacheStats snapshots the tiered cache and singleflight counters — the
+// /v1/stats cache block, also consumed by the fleet coordinator's
+// per-replica aggregation.
+func (s *Service) CacheStats() CacheBlock {
+	return CacheBlock{
+		Latent: s.detector.Cache().Stats(),
+		Result: s.detector.Results().Stats(),
+		Flight: s.flight.Stats(),
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
@@ -259,12 +277,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Tenants[name] = server.Accounting().Snapshot()
 	}
 	s.mu.RUnlock()
-	cs := s.detector.Cache().Stats()
-	resp.Cache.Hits = cs.Hits
-	resp.Cache.Misses = cs.Misses
-	resp.Cache.Evictions = cs.Evictions
-	resp.Cache.SkippedCopies = cs.SkippedCopies
-	resp.Cache.Size = s.detector.Cache().Len()
+	resp.Cache = s.CacheStats()
 	fs := s.detector.FaultStats()
 	resp.Detector.Retries = fs.Retries
 	resp.Detector.DegradedColumns = fs.DegradedColumns

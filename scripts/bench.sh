@@ -28,14 +28,23 @@
 # through the coordinator, reporting p50/p95/p99 latency, throughput, shed
 # rate, and the per-replica hit distribution — plus a deliberately
 # admission-capped run so the recorded shed rate is non-zero. Set
-# FLEET_ONLY=1 to run just this suite (it is the only one that trains a
-# model, so it dominates a full run's wall-clock).
+# FLEET_ONLY=1 to run just this suite (it trains a model, so it dominates
+# a full run's wall-clock).
+#
+# $5 (default BENCH_8.json) receives the tiered-cache set: tastebench
+# -benchcache measures cold vs warm single-table detect latency on one
+# trained model (warm answers byte-compared against cold), reporting the
+# result-cache speedup at p50, plus one Zipf-skewed closed-loop fleet run
+# whose hot keys concentrate on a few route keys — the workload where the
+# per-replica caches earn their budget. Set CACHE_ONLY=1 to run just this
+# suite.
 set -eu
 
 COMPUTE_OUT="${1:-BENCH_1.json}"
 TRAIN_OUT="${2:-BENCH_5.json}"
 QUANT_OUT="${3:-BENCH_6.json}"
 FLEET_OUT="${4:-BENCH_7.json}"
+CACHE_OUT="${5:-BENCH_8.json}"
 cd "$(dirname "$0")/.."
 
 NCPU="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)"
@@ -148,7 +157,7 @@ END {
     : >"$TMP"
 }
 
-if [ "${FLEET_ONLY:-0}" != "1" ]; then
+if [ "${FLEET_ONLY:-0}" != "1" ] && [ "${CACHE_ONLY:-0}" != "1" ]; then
 
 # Compute-runtime set → $COMPUTE_OUT (ambient GOMAXPROCS = top of matrix).
 run "$TOPGP" ./internal/tensor 'BenchmarkMatMul$|BenchmarkMatMul64$|BenchmarkMatMulNTScores$|BenchmarkTrainStepRelease' 1s
@@ -175,7 +184,9 @@ for gp in $MATRIX; do
 done
 emit "$QUANT_OUT"
 
-fi # FLEET_ONLY
+fi # FLEET_ONLY / CACHE_ONLY
+
+if [ "${CACHE_ONLY:-0}" != "1" ]; then
 
 # Fleet-serving set → $FLEET_OUT. Each tastebench -loadgen invocation boots
 # an in-process 3-replica fleet behind the coordinator, drives it with a
@@ -218,3 +229,46 @@ rm -f "$TBENCH"
 } >"$FLEET_OUT"
 echo "bench: wrote $FLEET_OUT ($(grep -c '"name"' "$FLEET_OUT") entries)" >&2
 : >"$TMP"
+
+fi # CACHE_ONLY
+
+if [ "${FLEET_ONLY:-0}" != "1" ]; then
+
+# Tiered-cache set → $CACHE_OUT. tastebench -benchcache trains one model
+# and measures the three cache temperatures (cold, warm latent, warm
+# result) over single-table detects, failing the run outright on any warm
+# response that differs from its cold counterpart. The Zipf load run then
+# exercises the same tiers through the full coordinator path with a
+# realistically skewed key distribution. Runs at the top of the matrix
+# only: the quantity under test is the hit-path speedup ratio, which is
+# machine-shape invariant (both sides of the ratio share the GOMAXPROCS).
+TBENCH="$(mktemp -d)/tastebench"
+go build -o "$TBENCH" ./cmd/tastebench
+echo "bench: GOMAXPROCS=$TOPGP tastebench -benchcache" >&2
+GOMAXPROCS="$TOPGP" "$TBENCH" -benchcache -fleet-tables 40 -loadgen-seed 7 \
+    -requests 120 >>"$TMP" || {
+    echo "bench: benchcache FAILED" >&2
+    exit 1
+}
+echo "bench: GOMAXPROCS=$TOPGP tastebench -loadgen -loadgen-dist zipf" >&2
+GOMAXPROCS="$TOPGP" "$TBENCH" -loadgen -fleet-replicas 3 -fleet-tables 40 \
+    -fleet-tenants 8 -loadgen-seed 7 -loadgen-mode closed -concurrency 8 \
+    -requests 120 -loadgen-dist zipf -zipf-s 1.2 >>"$TMP" || {
+    echo "bench: zipf loadgen FAILED" >&2
+    exit 1
+}
+rm -f "$TBENCH"
+{
+    printf '{\n  "platform": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+    printf '  "go_version": "%s",\n' "$(go env GOVERSION)"
+    printf '  "cpus": %s,\n' "$NCPU"
+    printf '  "gomaxprocs": %s,\n' "$TOPGP"
+    printf '  "git_sha": "%s",\n' "$GITSHA"
+    printf '  "cache_runs": [\n'
+    awk '{ lines[NR] = $0 } END { for (i = 1; i <= NR; i++) printf "    %s%s\n", lines[i], (i < NR ? "," : "") }' "$TMP"
+    printf '  ]\n}\n'
+} >"$CACHE_OUT"
+echo "bench: wrote $CACHE_OUT ($(grep -c '"name"' "$CACHE_OUT") entries)" >&2
+: >"$TMP"
+
+fi # FLEET_ONLY

@@ -61,12 +61,16 @@ do
     fi
 done
 
-# /metrics must also be mounted on the tenant-facing mux.
-curl -sf "http://$ADDR/metrics" | grep -qF 'taste_detect_requests_total' \
+# /metrics must also be mounted on the tenant-facing mux. Capture before
+# grepping: piping curl straight into grep -q trips pipefail when grep
+# exits at the first match and curl takes EPIPE on the rest.
+SVC_METRICS=$(curl -sf "http://$ADDR/metrics") || SVC_METRICS=""
+grep -qF 'taste_detect_requests_total' <<<"$SVC_METRICS" \
     || { echo "/metrics missing on the service listener" >&2; exit 1; }
 
 # pprof must answer on the debug listener only.
-curl -sf "http://$DEBUG/debug/pprof/" | grep -qi 'profile' \
+PPROF=$(curl -sf "http://$DEBUG/debug/pprof/") || PPROF=""
+grep -qi 'profile' <<<"$PPROF" \
     || { echo "pprof index not served" >&2; exit 1; }
 
 echo "metrics smoke: OK"
