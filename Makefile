@@ -9,10 +9,11 @@ GO ?= go
 # metrics registry, the data-parallel training runtime with its gradient
 # workers (plus the two model packages whose multi-worker training tests
 # exercise it), the fleet coordinator with its health prober and admission
-# queue, and the shared retry core.
-RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/cache/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/...
+# queue, the shared retry core, and the deduplicated model registry whose
+# page store backs concurrent publish/checkpoint traffic.
+RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/cache/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/... ./internal/registry/...
 
-.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-cache bench-smoke metrics-smoke fleet-smoke cache-smoke clean
+.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-cache bench-smoke metrics-smoke fleet-smoke cache-smoke registry-smoke clean
 
 build:
 	$(GO) build ./...
@@ -47,10 +48,16 @@ fleet-smoke:
 cache-smoke:
 	bash scripts/cache_smoke.sh
 
+# registry-smoke runs the train → publish → serve → feedback → republish →
+# hot-swap loop against real binaries and asserts the fine-tuned publish
+# dedups against the base version (DESIGN.md §15).
+registry-smoke:
+	bash scripts/registry_smoke.sh
+
 # ci is the gate a pull request must pass: vet, build, the full test suite,
 # the race detector over every concurrent package, and the serving smoke
 # tests.
-ci: vet test race metrics-smoke fleet-smoke cache-smoke
+ci: vet test race metrics-smoke fleet-smoke cache-smoke registry-smoke
 
 # race-all adds internal/core, whose fixture trains a model and needs a
 # far longer deadline under the race detector's ~10x slowdown.

@@ -7,6 +7,11 @@
 //
 //	tasted -checkpoint taste.ckpt -addr :8080
 //	tasted -train -addr :8080        # self-contained demo
+//	tasted -registry /var/taste/registry -addr :8080   # serve the latest published version
+//
+// With -registry the /v1/models endpoints come alive: list published
+// versions, hot-swap the serving model with zero downtime, and publish the
+// (possibly feedback-adapted) serving weights as a new deduplicated version.
 //
 // Then:
 //
@@ -15,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -28,6 +34,7 @@ import (
 	"repro/internal/adtd"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/simdb"
 	"repro/internal/tensor"
@@ -39,6 +46,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		debugAddr    = flag.String("debug-addr", "", "observability listener serving /metrics and /debug/pprof (empty disables)")
 		checkpoint   = flag.String("checkpoint", "", "ADTD checkpoint from tastetrain (matching -tables/-seed)")
+		registryDir  = flag.String("registry", "", "model-registry journal directory (from tastetrain -publish); enables /v1/models list/swap/publish")
+		modelName    = flag.String("model-name", "taste", "registry model name to serve and publish under")
+		modelVersion = flag.Int("model-version", 0, "registry version to serve at boot (0 = latest; requires -registry)")
 		train        = flag.Bool("train", false, "train a fresh model at startup instead of loading a checkpoint")
 		tables       = flag.Int("tables", 200, "corpus size backing the vocabulary/type space (must match the checkpoint)")
 		seed         = flag.Int64("seed", 1, "corpus seed (must match the checkpoint)")
@@ -72,6 +82,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The registry lives on its own zero-latency simulated store: the
+	// latency/fault model belongs to tenant databases, not to the service's
+	// control plane.
+	var reg *registry.Registry
+	if *registryDir != "" {
+		reg, err = registry.Open(simdb.NewServer(simdb.NoLatency), *registryDir, registry.Options{})
+		if err != nil {
+			log.Fatalf("open registry: %v", err)
+		}
+	}
+	bootVersion := 0
+
 	switch {
 	case *train:
 		cfg := adtd.DefaultTrainConfig()
@@ -95,8 +117,26 @@ func main() {
 		}
 		f.Close()
 		log.Printf("loaded checkpoint %s", *checkpoint)
+	case reg != nil:
+		version := *modelVersion
+		if version == 0 {
+			latest, ok := reg.Latest(*modelName)
+			if !ok {
+				log.Fatalf("registry %s has no published versions of %q", *registryDir, *modelName)
+			}
+			version = latest
+		}
+		ckpt, err := reg.Checkpoint(context.Background(), *modelName, version)
+		if err != nil {
+			log.Fatalf("registry checkpoint %s@%d: %v", *modelName, version, err)
+		}
+		if err := model.Load(bytes.NewReader(ckpt)); err != nil {
+			log.Fatalf("load %s@%d: %v", *modelName, version, err)
+		}
+		bootVersion = version
+		log.Printf("loaded %s@%d from registry %s", *modelName, version, *registryDir)
 	default:
-		log.Fatal("tasted: need -checkpoint or -train")
+		log.Fatal("tasted: need -checkpoint, -registry, or -train")
 	}
 
 	opts := core.DefaultOptions()
@@ -107,6 +147,10 @@ func main() {
 		log.Fatal(err)
 	}
 	svc := service.New(det)
+	if reg != nil {
+		svc.AttachRegistry(reg, *modelName, bootVersion)
+		log.Printf("model registry attached (%s, serving %s@%d): /v1/models endpoints enabled", *registryDir, *modelName, bootVersion)
+	}
 	svc.SetDefaultMode(core.ExecMode{Pipelined: true, PrepWorkers: *prepWorkers, InferWorkers: *inferWorkers})
 	svc.SetDefaultDeadline(*deadline)
 	if *batchWindow > 0 {

@@ -6,9 +6,16 @@
 // Usage:
 //
 //	tastetrain -model taste -dataset wikitable -tables 600 -epochs 16 -o taste.ckpt
+//	tastetrain -model taste -publish /var/taste/registry   # also publish to a model registry
+//
+// With -publish the checkpoint is additionally stored in a deduplicated
+// model registry (content-hashed pages, shared across versions): publishing
+// a fine-tuned variant of an earlier version pays only for the pages that
+// changed. tasted -registry serves straight from the same directory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +25,8 @@ import (
 	"repro/internal/adtd"
 	"repro/internal/baselines"
 	"repro/internal/corpus"
+	"repro/internal/registry"
+	"repro/internal/simdb"
 )
 
 func main() {
@@ -32,8 +41,13 @@ func main() {
 		workers   = flag.Int("train-workers", 1, "data-parallel gradient workers (results are bit-reproducible per (seed, workers))")
 		gradAccum = flag.Int("grad-accum", 1, "micro-batches accumulated per worker per optimizer step")
 		out       = flag.String("o", "model.ckpt", "checkpoint output path")
+		publish   = flag.String("publish", "", "also publish the checkpoint to the model registry rooted at this directory (taste only)")
+		pubName   = flag.String("publish-name", "taste", "registry model name to publish under")
 	)
 	flag.Parse()
+	if *publish != "" && *modelKind != "taste" {
+		log.Fatalf("tastetrain: -publish supports -model taste only (got %q)", *modelKind)
+	}
 
 	var profile corpus.Profile
 	switch *dataset {
@@ -89,6 +103,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trained taste model (%d params) in %v → %s\n", m.NumParams(), time.Since(start).Round(time.Second), *out)
+		if *publish != "" {
+			reg, err := registry.Open(simdb.NewServer(simdb.NoLatency), *publish, registry.Options{})
+			if err != nil {
+				log.Fatalf("open registry: %v", err)
+			}
+			res, err := reg.Publish(context.Background(), *pubName, m.Params())
+			if err != nil {
+				log.Fatalf("publish: %v", err)
+			}
+			fmt.Printf("published %s@%d → %s: %d pages (%d new), %d bytes stored, %.1f%% shared with earlier versions\n",
+				res.Name, res.Version, *publish, res.Pages, res.NewPages, res.StoredBytes, 100*res.SharedFrac)
+		}
 	case "turl", "doduo":
 		v, cfg := baselines.TURL, baselines.TURLScale()
 		if *modelKind == "doduo" {

@@ -329,6 +329,86 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFailedLoadLeavesWeightsUntouched is the non-atomic checkpoint-load
+// regression pin: a Load that fails partway — truncated mid-stream, or a
+// concatenated file with trailing bytes — must leave every parameter
+// bit-identical, keep the weight generation, and keep predictions
+// byte-for-byte stable.
+func TestFailedLoadLeavesWeightsUntouched(t *testing.T) {
+	m, ds := tinyModel(t)
+	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
+	_, before := m.PredictMeta(info, false)
+	genBefore := m.Generation()
+
+	var snap [][]float64
+	for _, p := range m.Params() {
+		snap = append(snap, append([]float64(nil), p.Data...))
+	}
+
+	// A different model's checkpoint with the right prefix structure but a
+	// truncated tail: the early tensors decode fine, so the old non-atomic
+	// reader would already have overwritten them before noticing.
+	other, err := New(m.Cfg, m.Tok, m.Types, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := other.Save(&good); err != nil {
+		t.Fatal(err)
+	}
+	truncated := good.Bytes()[:good.Len()-13]
+	if err := m.Load(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated checkpoint must fail to load")
+	}
+	trailing := append(append([]byte(nil), good.Bytes()...), 0x42)
+	if err := m.Load(bytes.NewReader(trailing)); err == nil {
+		t.Fatal("checkpoint with trailing bytes must fail to load")
+	}
+
+	for i, p := range m.Params() {
+		for j, v := range p.Data {
+			if v != snap[i][j] {
+				t.Fatalf("param %d elem %d mutated by failed Load", i, j)
+			}
+		}
+	}
+	if g := m.Generation(); g != genBefore {
+		t.Fatalf("failed Load changed generation: %d -> %d", genBefore, g)
+	}
+	_, after := m.PredictMeta(info, false)
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatalf("prediction drift after failed Load at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestGenerationsUniqueAcrossModels pins the hot-swap cache contract: two
+// live models must never share a weight generation, even right after
+// construction, so swapping the serving pointer between them can never make
+// one model's memoized outputs resolve for the other.
+func TestGenerationsUniqueAcrossModels(t *testing.T) {
+	m1, _ := tinyModel(t)
+	m2, err := m1.Sibling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.SetEval()
+	if m1.Generation() == m2.Generation() {
+		t.Fatalf("sibling models share generation %d", m1.Generation())
+	}
+	g1 := m1.Generation()
+	m2.SetTrain() // bump m2 only (a mode transition redraws its generation)
+	if m1.Generation() != g1 {
+		t.Fatal("bumping one model moved another's generation")
+	}
+	if m1.Generation() == m2.Generation() {
+		t.Fatal("generations collided after invalidation")
+	}
+}
+
 func TestAutoWeightedLossGradients(t *testing.T) {
 	w := tensor.Param(1, 2)
 	w.Fill(1)

@@ -113,4 +113,3 @@ func TestPredictContentBatchReleasesFreshEncodings(t *testing.T) {
 		t.Fatal("cached encoding unusable after release of the original")
 	}
 }
-

@@ -29,7 +29,7 @@ func (m *Model) invalidatePacks() {
 	m.MetaCls.InvalidateFastPath()
 	m.ContCls.InvalidateFastPath()
 	m.MLMHead.InvalidateFastPath()
-	m.gen.Add(1)
+	m.gen.Store(nextGeneration())
 }
 
 // evalFast reports whether the model-level fused inference path may be

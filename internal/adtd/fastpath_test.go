@@ -82,7 +82,12 @@ func TestFastPathInvalidatedOnWeightChange(t *testing.T) {
 	info := metafeat.FromCorpusTable(ds.Test[0], false, 0)
 	_, before := m.PredictMeta(info, false) // populates the packs
 	m.Blocks[0].Attn.WQ.W.Data[0] += 0.5
-	m.SetEval() // re-freezing invalidates the packs
+	// An out-of-band mutation is surfaced by a mode transition: entering and
+	// leaving train mode invalidates the packs. (A redundant SetEval on an
+	// already-frozen model is deliberately a no-op — hot-swap relies on
+	// re-freezing being write-free for models concurrently serving reads.)
+	m.SetTrain()
+	m.SetEval()
 	_, after := m.PredictMeta(info, false)
 	same := true
 	for c := range before {

@@ -43,14 +43,32 @@ type Model struct {
 	// weighted loss (§4.4).
 	LossW *tensor.Tensor
 
-	// gen counts weight-mutating events (grad-mode flips, checkpoint loads,
-	// feedback updates). Result-cache keys embed it, so bumping it orphans
-	// every memoized prediction in O(1) — the same contract the fast-path
-	// weight packs follow via invalidatePacks.
+	// gen identifies the current weight state. It is drawn from a
+	// process-global counter — unique across every live model, not just
+	// monotonic within one — and redrawn on weight-mutating events
+	// (grad-mode flips, checkpoint loads, feedback updates). Result-cache
+	// keys embed it, so a bump orphans every memoized prediction in O(1) —
+	// the same contract the fast-path weight packs follow via
+	// invalidatePacks — and hot-swapping between models can never alias two
+	// models' cached outputs.
 	gen atomic.Uint64
+
+	// training mirrors the parameters' requiresGrad state so SetEval/SetTrain
+	// can skip the flag sweep when the mode is already right. That makes
+	// re-entering eval mode write-free, which matters for hot-swap: swapping a
+	// cached, already-frozen model back into serving must not race the
+	// requests still running inference on it.
+	training atomic.Bool
 
 	enc Encoder
 }
+
+// generationCounter hands out process-unique weight generations. Starting
+// at 1 keeps 0 meaning "never assigned".
+var generationCounter atomic.Uint64
+
+// nextGeneration returns a fresh process-unique generation.
+func nextGeneration() uint64 { return generationCounter.Add(1) }
 
 // Generation returns the model's weight generation. It changes whenever
 // the weights may have changed in place; anything memoizing model outputs
@@ -86,7 +104,19 @@ func New(cfg Config, tok *tokenizer.Tokenizer, types *TypeSpace, seed int64) (*M
 		m.Blocks = append(m.Blocks, nn.NewTransformerBlock(cfg.Hidden, cfg.Heads, cfg.Intermediate, rng))
 	}
 	m.enc = Encoder{Tok: tok, Cfg: cfg}
+	m.training.Store(true) // tensor.Param starts with gradients enabled
+	m.gen.Store(nextGeneration())
 	return m, nil
+}
+
+// Sibling creates a fresh, randomly initialized model with the same
+// configuration, tokenizer, and type space — the right shape to Load any
+// checkpoint this model could have Saved. The model registry uses it to
+// materialize additional versions for zero-downtime hot-swap: the sibling
+// gets its own weight generation and fast-path packs, so serving two
+// versions side by side never aliases caches.
+func (m *Model) Sibling() (*Model, error) {
+	return New(m.Cfg, m.Tok, m.Types, 0)
 }
 
 // Encoder returns the input encoder bound to this model's tokenizer and
@@ -121,6 +151,9 @@ func (m *Model) SetEval() { m.setGrad(false) }
 func (m *Model) SetTrain() { m.setGrad(true) }
 
 func (m *Model) setGrad(v bool) {
+	if m.training.Swap(v) == v {
+		return // already in the requested mode; no flags to flip
+	}
 	for _, p := range m.Params() {
 		p.SetRequiresGrad(v)
 	}
@@ -131,7 +164,11 @@ func (m *Model) setGrad(v bool) {
 // Save serializes all parameters.
 func (m *Model) Save(w io.Writer) error { return tensor.WriteTensors(w, m.Params()) }
 
-// Load restores all parameters from a checkpoint written by Save.
+// Load restores all parameters from a checkpoint written by Save. The load
+// is atomic: tensor.ReadTensors validates the whole checkpoint in scratch
+// buffers before installing anything, so a truncated or corrupt file
+// returns an error with the live weights — and therefore serving —
+// untouched, and the weight generation is only redrawn on success.
 func (m *Model) Load(r io.Reader) error {
 	if err := tensor.ReadTensors(r, m.Params()); err != nil {
 		return err
@@ -429,4 +466,7 @@ func (m *Model) ExtendTypes(names []string, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
 	m.MetaCls.ExtendClasses(m.Types.Len(), rng)
 	m.ContCls.ExtendClasses(m.Types.Len(), rng)
+	// The classifier heads changed shape in place: redraw the generation so
+	// memoized predictions (now the wrong width) age out.
+	m.invalidatePacks()
 }

@@ -87,8 +87,8 @@ func TestGenerationInvalidatesKeys(t *testing.T) {
 		RowCount: 3,
 		Columns:  []*metafeat.ColumnInfo{{Name: "c", DataType: "text"}},
 	}
-	latentBefore := d.cacheKey("tenant", "t", 0, false)
-	resultBefore := d.metaResultKey(chunk, false)
+	latentBefore := d.cacheKey(m, "tenant", "t", 0, false)
+	resultBefore := d.metaResultKey(m, chunk, false)
 	genBefore := m.Generation()
 
 	var buf bytes.Buffer
@@ -101,10 +101,10 @@ func TestGenerationInvalidatesKeys(t *testing.T) {
 	if m.Generation() <= genBefore {
 		t.Fatalf("generation not bumped by Load: %d -> %d", genBefore, m.Generation())
 	}
-	if d.cacheKey("tenant", "t", 0, false) == latentBefore {
+	if d.cacheKey(m, "tenant", "t", 0, false) == latentBefore {
 		t.Fatal("latent cache key unchanged after Load")
 	}
-	if d.metaResultKey(chunk, false) == resultBefore {
+	if d.metaResultKey(m, chunk, false) == resultBefore {
 		t.Fatal("result cache key unchanged after Load")
 	}
 

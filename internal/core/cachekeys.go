@@ -8,6 +8,7 @@ import (
 	"hash"
 	"math"
 
+	"repro/internal/adtd"
 	"repro/internal/metafeat"
 	"repro/internal/simdb"
 	"repro/internal/tensor"
@@ -46,19 +47,20 @@ func (d *Detector) effectiveQuantize(pref *bool) bool {
 	return tensor.QuantizeEnabled()
 }
 
-// metaResultKey memoizes Phase 1's probability rows for one chunk.
-func (d *Detector) metaResultKey(chunk *metafeat.TableInfo, quant bool) string {
+// metaResultKey memoizes Phase 1's probability rows for one chunk, under the
+// generation of the model the request actually runs on.
+func (d *Detector) metaResultKey(m *adtd.Model, chunk *metafeat.TableInfo, quant bool) string {
 	h := sha256.New()
 	hashTableInfo(h, chunk)
 	return fmt.Sprintf("p1|g%d|q%v|h%v|%s",
-		d.Model.Generation(), quant, d.Opts.UseHistogram, hex.EncodeToString(h.Sum(nil)))
+		m.Generation(), quant, d.Opts.UseHistogram, hex.EncodeToString(h.Sum(nil)))
 }
 
 // contentResultKey memoizes Phase 2's probability rows for one chunk
 // request. lquant versions the cached latents feeding the content tower,
 // cquant the content forward itself (they differ when the cross-request
 // batcher overrides a per-request preference with the process default).
-func (d *Detector) contentResultKey(chunk *metafeat.TableInfo, cols []int, n int, lquant, cquant bool) string {
+func (d *Detector) contentResultKey(m *adtd.Model, chunk *metafeat.TableInfo, cols []int, n int, lquant, cquant bool) string {
 	h := sha256.New()
 	hashTableInfo(h, chunk)
 	hashInt(h, len(cols))
@@ -67,7 +69,7 @@ func (d *Detector) contentResultKey(chunk *metafeat.TableInfo, cols []int, n int
 	}
 	hashInt(h, n)
 	return fmt.Sprintf("p2|g%d|q%v.%v|h%v|%s",
-		d.Model.Generation(), lquant, cquant, d.Opts.UseHistogram, hex.EncodeToString(h.Sum(nil)))
+		m.Generation(), lquant, cquant, d.Opts.UseHistogram, hex.EncodeToString(h.Sum(nil)))
 }
 
 func hashInt(h hash.Hash, v int) {

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/adtd"
@@ -153,21 +154,31 @@ type FaultStats struct {
 }
 
 // ContentInferencer abstracts how Phase-2 content batches are classified.
-// The default is a direct PredictContentBatch on the detector's model; a
+// The default is a direct PredictContentBatch on the request's model; a
 // service-level micro-batcher can be plugged in with SetContentInferencer to
-// coalesce batches across concurrent requests. Implementations must return
+// coalesce batches across concurrent requests. The model is passed per call
+// because the detector hot-swaps models: a request pinned to an old model
+// must be classified by that model even if a swap lands mid-flight, so
+// implementations that coalesce must group by model and never mix requests
+// from different models into one forward. Implementations must return
 // results indexed like reqs, and should return ctx's error when the request
 // dies while queued or in flight — the detector maps deadline errors to
 // graceful degradation, not failures.
 type ContentInferencer interface {
-	InferContentBatch(ctx context.Context, reqs []adtd.ContentRequest, n int) ([][][]float64, error)
+	InferContentBatch(ctx context.Context, m *adtd.Model, reqs []adtd.ContentRequest, n int) ([][][]float64, error)
 }
 
 // Detector is the Taste detection service: a trained ADTD model plus the
 // framework configuration. It is safe for concurrent use once the model is
 // in eval mode.
+//
+// The model is held behind an atomic pointer (RCU style): every request
+// captures the pointer exactly once when its table job is created and uses
+// that model for all four stages, so SwapModel never tears a request across
+// two weight sets. Caches need no flushing on swap — every cache key embeds
+// the model's process-unique generation.
 type Detector struct {
-	Model *adtd.Model
+	model atomic.Pointer[adtd.Model]
 	Opts  Options
 
 	cache   *cache.Latent
@@ -197,8 +208,7 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 	latents.SetMetrics(cache.NewTierMetrics(obs.Default, "latent"))
 	results := cache.NewResult(opts.ResultCacheBytes, opts.CacheShards)
 	results.SetMetrics(cache.NewTierMetrics(obs.Default, "result"))
-	return &Detector{
-		Model:   model,
+	d := &Detector{
 		Opts:    opts,
 		cache:   latents,
 		results: results,
@@ -209,7 +219,46 @@ func NewDetector(model *adtd.Model, opts Options) (*Detector, error) {
 			MaxDelay:       opts.RetryMaxDelay,
 			DeadlineMargin: opts.DeadlineMargin,
 		}, opts.ScanSeed+1),
-	}, nil
+	}
+	d.model.Store(model)
+	return d, nil
+}
+
+// Model returns the currently serving model. Requests in flight may still be
+// using an older model they captured at admission.
+func (d *Detector) Model() *adtd.Model { return d.model.Load() }
+
+// SwapModel atomically installs m as the serving model and returns the
+// previous one. The swap is zero-downtime: in-flight requests finish on the
+// model they started with, new requests see m immediately, and no cache
+// flush is needed — latent and result keys embed the weight generation,
+// which is process-unique, so entries from the two models can never alias.
+// The old model is returned (not destroyed) so callers can swap back.
+func (d *Detector) SwapModel(m *adtd.Model) *adtd.Model {
+	m.SetEval()
+	return d.model.Swap(m)
+}
+
+// modelKey carries a per-request model override through the stage contexts.
+type modelKey struct{}
+
+// WithModel returns a context pinning detection to the given model instead
+// of the detector's current one — the mechanism behind per-request model
+// version overrides. The model must share the detector's type space
+// semantics (it normally comes from the registry as a Sibling of the serving
+// model); it is used for every stage of the request, so the answer is
+// internally consistent with exactly one model.
+func WithModel(ctx context.Context, m *adtd.Model) context.Context {
+	return context.WithValue(ctx, modelKey{}, m)
+}
+
+// requestModel resolves the model a request should run on: the WithModel
+// override when present, else the current serving model.
+func (d *Detector) requestModel(ctx context.Context) *adtd.Model {
+	if m, ok := ctx.Value(modelKey{}).(*adtd.Model); ok && m != nil {
+		return m
+	}
+	return d.model.Load()
 }
 
 // Cache exposes the latent cache tier (for stats and tests).
@@ -417,9 +466,12 @@ func quantPref(ctx context.Context) *bool {
 	return nil
 }
 
-// tableJob carries per-table state across the four stages.
+// tableJob carries per-table state across the four stages. The model is
+// captured once at job creation: all four stages (and their cache keys) use
+// the same weights even if the detector hot-swaps mid-request.
 type tableJob struct {
 	d       *Detector
+	model   *adtd.Model
 	conn    *simdb.Conn
 	dbName  string
 	table   string
@@ -435,10 +487,11 @@ type tableJob struct {
 
 // cacheKey identifies a chunk's latents in the latent cache. The model
 // generation prefix orphans every cached latent in O(1) when the weights
-// change (SetTrain, Load, ApplyFeedback), and the quantization flag keeps
-// int8 and fp64 latents from aliasing each other.
-func (d *Detector) cacheKey(dbName, table string, chunk int, quant bool) string {
-	return fmt.Sprintf("g%d/q%v/%s.%s#%d/h=%v", d.Model.Generation(), quant, dbName, table, chunk, d.Opts.UseHistogram)
+// change (SetTrain, Load, ApplyFeedback) — and, because generations are
+// process-unique, keeps entries from hot-swapped models from ever aliasing.
+// The quantization flag keeps int8 and fp64 latents apart.
+func (d *Detector) cacheKey(m *adtd.Model, dbName, table string, chunk int, quant bool) string {
+	return fmt.Sprintf("g%d/q%v/%s.%s#%d/h=%v", m.Generation(), quant, dbName, table, chunk, d.Opts.UseHistogram)
 }
 
 // deadlineNear reports whether the request deadline has passed or is within
@@ -527,14 +580,14 @@ func (j *tableJob) s2InferMetadata(ctx context.Context) error {
 		// downstream still finds latents without recomputing them.
 		var rkey string
 		if j.d.results.Enabled() {
-			rkey = j.d.metaResultKey(chunk, quant)
+			rkey = j.d.metaResultKey(j.model, chunk, quant)
 			if probs, ok := j.d.results.Get(rkey); ok {
 				j.p1Probs = append(j.p1Probs, probs...)
 				continue
 			}
 		}
-		menc, probs := j.d.Model.PredictMetaQ(chunk, opts.UseHistogram, quantPref(ctx))
-		if !j.d.cache.Put(j.d.cacheKey(j.dbName, j.table, ci, quant), menc) {
+		menc, probs := j.model.PredictMetaQ(chunk, opts.UseHistogram, quantPref(ctx))
+		if !j.d.cache.Put(j.d.cacheKey(j.model, j.dbName, j.table, ci, quant), menc) {
 			// Not consumed (disabled, oversized, or an equal entry already
 			// cached): the fresh graph goes back to the tensor arena.
 			menc.Release()
@@ -547,7 +600,7 @@ func (j *tableJob) s2InferMetadata(ctx context.Context) error {
 	for global, row := range j.p1Probs {
 		col := j.info.Columns[global]
 		cr := ColumnResult{Table: j.table, Column: col.Name, Phase: 1, Probs: row}
-		cr.Admitted = j.d.admitted(row, opts.Beta)
+		cr.Admitted = admitted(j.model, row, opts.Beta)
 		if !opts.P2Disabled() && isUncertain(row, opts.Alpha, opts.Beta) {
 			cr.Uncertain = true
 			j.uncertain = append(j.uncertain, global)
@@ -585,21 +638,21 @@ func (j *tableJob) degradeWithRules(globals []int, reason string, deadline bool)
 			continue
 		}
 		if vals := j.info.Columns[g].Values; len(vals) > 0 {
-			cr.Admitted = mergeTypes(cr.Admitted, j.d.ruleFallback(vals))
+			cr.Admitted = mergeTypes(cr.Admitted, j.d.ruleFallback(j.model, vals))
 		}
 	}
 	j.degrade(globals, reason, deadline)
 }
 
 // ruleFallback runs the rule-based detector over values, keeping only types
-// the model's type space knows.
-func (d *Detector) ruleFallback(values []string) []string {
+// the given model's type space knows.
+func (d *Detector) ruleFallback(m *adtd.Model, values []string) []string {
 	if d.rules == nil {
 		return nil
 	}
 	var out []string
 	for _, t := range d.rules.DetectColumn(values) {
-		if _, ok := d.Model.Types.Index(t); ok {
+		if _, ok := m.Types.Index(t); ok {
 			out = append(out, t)
 		}
 	}
@@ -728,7 +781,7 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 			cr := &j.res.Columns[g]
 			cr.Phase = 2
 			cr.Probs = rows[slot]
-			cr.Admitted = j.d.admitted(rows[slot], opts.AdmitThreshold)
+			cr.Admitted = admitted(j.model, rows[slot], opts.AdmitThreshold)
 		}
 	}
 	var reqs []adtd.ContentRequest
@@ -751,19 +804,19 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 		// key and stale memoized answers simply never resolve again.
 		var rkey string
 		if j.d.results.Enabled() {
-			rkey = j.d.contentResultKey(chunk, localCols, opts.CellsPerColumn, lquant, cquant)
+			rkey = j.d.contentResultKey(j.model, chunk, localCols, opts.CellsPerColumn, lquant, cquant)
 			if rows, ok := j.d.results.Get(rkey); ok && len(rows) == len(globals) {
 				applyRows(globals, rows)
 				continue
 			}
 		}
-		menc := j.d.cache.Get(j.d.cacheKey(j.dbName, j.table, ci, lquant))
+		menc := j.d.cache.Get(j.d.cacheKey(j.model, j.dbName, j.table, ci, lquant))
 		if menc == nil {
 			// Cache disabled or evicted: pay the duplicate metadata-tower
 			// computation the latent cache exists to avoid (§4.2.2). The
 			// fresh encoding is released by the batch call below; cached
 			// encodings are graph-free views and survive it.
-			menc = j.d.Model.EncodeMetadata(j.d.Model.Encoder().BuildMetaInput(chunk, opts.UseHistogram))
+			menc = j.model.EncodeMetadata(j.model.Encoder().BuildMetaInput(chunk, opts.UseHistogram))
 		}
 		reqs = append(reqs, adtd.ContentRequest{Menc: menc, Table: chunk, Cols: localCols})
 		globalsPerReq = append(globalsPerReq, globals)
@@ -775,7 +828,7 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 	var batch [][][]float64
 	if ci := j.d.contentInferencer(); ci != nil {
 		var err error
-		batch, err = ci.InferContentBatch(ctx, reqs, opts.CellsPerColumn)
+		batch, err = ci.InferContentBatch(ctx, j.model, reqs, opts.CellsPerColumn)
 		if err != nil {
 			if opts.DisableDegradation {
 				return err
@@ -794,7 +847,7 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 			return nil
 		}
 	} else {
-		batch = j.d.Model.PredictContentBatchQ(reqs, opts.CellsPerColumn, quantPref(ctx))
+		batch = j.model.PredictContentBatchQ(reqs, opts.CellsPerColumn, quantPref(ctx))
 	}
 	for r, globals := range globalsPerReq {
 		applyRows(globals, batch[r])
@@ -808,15 +861,16 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 }
 
 // admitted returns the sorted type names with probability ≥ threshold,
-// excluding the background type.
-func (d *Detector) admitted(probs []float64, threshold float64) []string {
+// excluding the background type. Names resolve against the request's model,
+// whose type space indexed the probability row.
+func admitted(m *adtd.Model, probs []float64, threshold float64) []string {
 	var out []string
 	for i, p := range probs {
 		if i == 0 {
 			continue // background type is never reported
 		}
 		if p >= threshold {
-			out = append(out, d.Model.Types.Name(i))
+			out = append(out, m.Types.Name(i))
 		}
 	}
 	sort.Strings(out)
@@ -855,7 +909,7 @@ func (d *Detector) DetectTable(ctx context.Context, conn *simdb.Conn, dbName, ta
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := &tableJob{d: d, conn: conn, dbName: dbName, table: table}
+	j := &tableJob{d: d, model: d.requestModel(ctx), conn: conn, dbName: dbName, table: table}
 	for _, st := range j.stages() {
 		if err := st.Run(ctx); err != nil {
 			// Salvage a deadline-killed job when Phase 1 already answered.
@@ -912,10 +966,13 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 	}
 
 	cs0 := d.cache.Stats()
+	// One model for the whole batch: every table of the request is answered
+	// by the same weights, however long the batch runs across swaps.
+	model := d.requestModel(ctx)
 	jobs := make([]*pipeline.Job, len(tables))
 	tjobs := make([]*tableJob, len(tables))
 	for i, t := range tables {
-		tjobs[i] = &tableJob{d: d, conn: conn, dbName: dbName, table: t}
+		tjobs[i] = &tableJob{d: d, model: model, conn: conn, dbName: dbName, table: t}
 		jobs[i] = &pipeline.Job{ID: t, Stages: tjobs[i].stages()}
 	}
 	sched := pipeline.Scheduler{
@@ -975,7 +1032,7 @@ func (d *Detector) Feedback(table *metafeat.TableInfo, column int, labels []stri
 	d.mu.Lock()
 	d.feedback = append(d.feedback, ex)
 	d.mu.Unlock()
-	return d.Model.ApplyFeedback([]adtd.FeedbackExample{ex}, 0.02, 5)
+	return d.Model().ApplyFeedback([]adtd.FeedbackExample{ex}, 0.02, 5)
 }
 
 // FeedbackLog returns all recorded corrections.
@@ -996,6 +1053,6 @@ func (d *Detector) RegisterTypes(reg *corpus.Registry, types []*corpus.Type) err
 		}
 		names = append(names, t.Name)
 	}
-	d.Model.ExtendTypes(names, 0)
+	d.Model().ExtendTypes(names, 0)
 	return nil
 }

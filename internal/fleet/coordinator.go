@@ -452,17 +452,23 @@ type StatsResponse struct {
 	Caches map[string]service.CacheBlock `json:"caches,omitempty"`
 	// CacheTotals rolls Caches up into fleet-wide hit rates.
 	CacheTotals *CacheTotals `json:"cache_totals,omitempty"`
+	// Models holds each healthy replica's serving-model block from the same
+	// scrape: which registry version (and weight generation) every replica
+	// serves, making rollout progress — and version skew — visible in one
+	// place during a fleet-wide hot-swap.
+	Models map[string]service.ModelBlock `json:"models,omitempty"`
 }
 
-// scrapeCaches collects the cache block from every healthy replica's
-// /v1/stats concurrently. The coordinator holds no cache state of its own:
-// the tiered caches live in the replicas, keyed at the same granularity
-// the ring routes on, so the fleet-wide view is a scrape-time rollup.
-func (c *Coordinator) scrapeCaches(ctx context.Context) map[string]service.CacheBlock {
+// scrapeCaches collects the cache and serving-model blocks from every
+// healthy replica's /v1/stats concurrently. The coordinator holds no cache
+// or model state of its own: both live in the replicas, so the fleet-wide
+// view is a scrape-time rollup.
+func (c *Coordinator) scrapeCaches(ctx context.Context) (map[string]service.CacheBlock, map[string]service.ModelBlock) {
 	healthy := c.pool.Healthy()
 	type scraped struct {
 		name  string
 		block service.CacheBlock
+		model service.ModelBlock
 		ok    bool
 	}
 	results := make([]scraped, len(healthy))
@@ -486,22 +492,28 @@ func (c *Coordinator) scrapeCaches(ctx context.Context) map[string]service.Cache
 			defer resp.Body.Close()
 			var body struct {
 				Cache service.CacheBlock `json:"cache"`
+				Model service.ModelBlock `json:"model"`
 			}
 			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&body) != nil {
 				c.scrapeErrsTotal.Inc()
 				return
 			}
-			results[i] = scraped{name: name, block: body.Cache, ok: true}
+			results[i] = scraped{name: name, block: body.Cache, model: body.Model, ok: true}
 		}(i, name)
 	}
 	wg.Wait()
-	out := make(map[string]service.CacheBlock)
+	caches := make(map[string]service.CacheBlock)
+	models := make(map[string]service.ModelBlock)
 	for _, r := range results {
 		if r.ok {
-			out[r.name] = r.block
+			caches[r.name] = r.block
+			// The scrape is per replica, but the registry economics inside
+			// the block are store-wide; keep only the per-replica fields.
+			r.model.Registry = nil
+			models[r.name] = r.model
 		}
 	}
-	return out
+	return caches, models
 }
 
 func rollupCaches(caches map[string]service.CacheBlock) *CacheTotals {
@@ -532,7 +544,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StatsResponse{Replicas: c.pool.Snapshot()}
-	resp.Caches = c.scrapeCaches(r.Context())
+	resp.Caches, resp.Models = c.scrapeCaches(r.Context())
 	resp.CacheTotals = rollupCaches(resp.Caches)
 	resp.Routing.Routed = c.stats.Routed.Load()
 	resp.Routing.Shed = c.stats.Shed.Load()

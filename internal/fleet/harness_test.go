@@ -91,6 +91,27 @@ func TestHarnessEndToEnd(t *testing.T) {
 			t.Fatalf("replica %q missing from coordinator cache stats", name)
 		}
 	}
+	// Each replica's serving-model block rides the same scrape: every
+	// replica reports a live weight generation. The harness shares one
+	// trained model across replicas, so the generations must agree — skew
+	// here would mean a replica silently serves different weights.
+	if len(stats.Models) != len(replicas) {
+		t.Fatalf("coordinator scraped %d model blocks, want %d: %v", len(stats.Models), len(replicas), stats.Models)
+	}
+	gens := make(map[uint64]bool)
+	for _, name := range replicas {
+		mb, ok := stats.Models[name]
+		if !ok {
+			t.Fatalf("replica %q missing from coordinator model stats", name)
+		}
+		if mb.Generation == 0 {
+			t.Fatalf("replica %q reports no weight generation: %+v", name, mb)
+		}
+		gens[mb.Generation] = true
+	}
+	if len(gens) != 1 {
+		t.Fatalf("replicas sharing one model report skewed generations: %v", stats.Models)
+	}
 	if stats.CacheTotals == nil {
 		t.Fatal("coordinator cache rollup absent")
 	}

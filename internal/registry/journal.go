@@ -1,0 +1,183 @@
+package registry
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/simdb"
+)
+
+// journal is the registry's durable redo log: two append-only files under a
+// directory, one for pages and one for manifests. Publish appends every new
+// page before the manifest that references it, so any manifest visible after
+// a crash has all of its pages. Replay is tolerant of a truncated tail —
+// a half-written final record is discarded, never fatal — which is all the
+// crash-consistency this format needs.
+//
+//	pages.log:     repeat{ sha256 [32]byte | uint32 len | data }
+//	manifests.log: repeat{ uint32 len | manifest JSON }
+type journal struct {
+	mu    sync.Mutex
+	pages *os.File
+	mans  *os.File
+}
+
+const (
+	pagesLogName     = "pages.log"
+	manifestsLogName = "manifests.log"
+)
+
+// openJournal replays any existing journal in dir into the store (calling
+// onManifest for each decoded manifest) and opens both logs for append.
+func openJournal(dir string, store *simdb.PageStore, onManifest func(*Manifest)) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: create journal dir: %w", err)
+	}
+	if err := replayPages(filepath.Join(dir, pagesLogName), store); err != nil {
+		return nil, err
+	}
+	if err := replayManifests(filepath.Join(dir, manifestsLogName), store, onManifest); err != nil {
+		return nil, err
+	}
+	pages, err := os.OpenFile(filepath.Join(dir, pagesLogName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("registry: open pages log: %w", err)
+	}
+	mans, err := os.OpenFile(filepath.Join(dir, manifestsLogName), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		pages.Close()
+		return nil, fmt.Errorf("registry: open manifests log: %w", err)
+	}
+	return &journal{pages: pages, mans: mans}, nil
+}
+
+// truncatedTail reports whether err marks a record cut off mid-write — the
+// expected shape of a crash, ending replay without error.
+func truncatedTail(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func replayPages(path string, store *simdb.PageStore) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("registry: open pages log: %w", err)
+	}
+	defer f.Close()
+	r := newByteReader(f)
+	for {
+		var hash simdb.PageHash
+		if _, err := io.ReadFull(r, hash[:]); err != nil {
+			if truncatedTail(err) {
+				return nil
+			}
+			return fmt.Errorf("registry: replay pages: %w", err)
+		}
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			if truncatedTail(err) {
+				return nil
+			}
+			return fmt.Errorf("registry: replay pages: %w", err)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			if truncatedTail(err) {
+				return nil
+			}
+			return fmt.Errorf("registry: replay pages: %w", err)
+		}
+		if sha256.Sum256(data) != [32]byte(hash) {
+			// A corrupt record and everything after it is untrustworthy;
+			// stop replay at the last verified page.
+			return nil
+		}
+		store.RestorePage(hash, data)
+	}
+}
+
+func replayManifests(path string, store *simdb.PageStore, onManifest func(*Manifest)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("registry: open manifests log: %w", err)
+	}
+	defer f.Close()
+	r := newByteReader(f)
+	for {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			if truncatedTail(err) {
+				return nil
+			}
+			return fmt.Errorf("registry: replay manifests: %w", err)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			if truncatedTail(err) {
+				return nil
+			}
+			return fmt.Errorf("registry: replay manifests: %w", err)
+		}
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			// Truncation can only hit the last record; a JSON that does not
+			// parse means the tail was cut inside a record whose length
+			// prefix survived. Stop at the last good manifest.
+			return nil
+		}
+		store.RestoreManifest(manifestKey(m.Name, m.Version), raw)
+		onManifest(&m)
+	}
+}
+
+func (j *journal) appendPage(hash simdb.PageHash, data []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := make([]byte, 0, len(hash)+4+len(data))
+	rec = append(rec, hash[:]...)
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(data)))
+	rec = append(rec, data...)
+	_, err := j.pages.Write(rec)
+	return err
+}
+
+func (j *journal) appendManifest(raw []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := binary.LittleEndian.AppendUint32(nil, uint32(len(raw)))
+	rec = append(rec, raw...)
+	if _, err := j.mans.Write(rec); err != nil {
+		return err
+	}
+	// A manifest makes a version visible: flush it and the pages written
+	// before it so another process opening the journal sees a whole version.
+	if err := j.pages.Sync(); err != nil {
+		return err
+	}
+	return j.mans.Sync()
+}
+
+func (j *journal) close() error {
+	err1 := j.pages.Close()
+	err2 := j.mans.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// newByteReader wraps f with buffering for the many small record reads.
+func newByteReader(f *os.File) io.Reader { return bufio.NewReader(f) }

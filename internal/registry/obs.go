@@ -1,0 +1,15 @@
+package registry
+
+import "repro/internal/obs"
+
+// Runtime metric handles (DESIGN.md §9/§15). Byte gauges are synced on
+// Stats(), which every metrics scrape path goes through.
+var (
+	publishesTotal         = obs.Default.Counter("taste_registry_publishes_total")
+	pagesWrittenTotal      = obs.Default.Counter("taste_registry_pages_written_total")
+	pagesDedupedTotal      = obs.Default.Counter("taste_registry_pages_deduped_total")
+	checkpointsServedTotal = obs.Default.Counter("taste_registry_checkpoints_served_total")
+	logicalBytesGauge      = obs.Default.Gauge("taste_registry_logical_bytes")
+	storedBytesGauge       = obs.Default.Gauge("taste_registry_stored_bytes")
+	versionsGauge          = obs.Default.Gauge("taste_registry_versions")
+)

@@ -1,0 +1,351 @@
+// Package registry implements a versioned, deduplicated model checkpoint
+// store on top of the simulated database's content-addressed page store.
+//
+// A published checkpoint is decomposed per tensor: each tensor's raw
+// little-endian float64 stream is chunked into fixed-size pages, every page
+// is addressed by its sha256, and pages are stored at most once. A manifest
+// — small JSON naming the tensor shapes and their page hashes — is what a
+// version actually owns. Fine-tuned variants that share most weights with
+// their base (feedback adaptation only touches the classifier heads)
+// therefore pay storage only for the pages that changed, exactly the
+// trade explored by deduplicated model serving over relational databases.
+//
+// The page store lives in the simulated database, so publishes and
+// checkpoint reads pay realistic round trips and show up in the same
+// accounting ledger as detection scans. Cross-process durability — training
+// publishes in one process, serving loads in another — comes from an
+// append-only journal directory replayed on Open; pages are journaled
+// before the manifest that references them, so a visible manifest always
+// has all of its pages.
+package registry
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/simdb"
+	"repro/internal/tensor"
+)
+
+// DefaultPageSize is the page granularity for checkpoint chunking. 64 KiB
+// (8192 float64s) balances dedup resolution against per-page round trips.
+const DefaultPageSize = 64 * 1024
+
+// Options configures a Registry.
+type Options struct {
+	// PageSize is the chunk size in bytes; DefaultPageSize when 0. Smaller
+	// pages dedup at finer grain but pay more round trips per publish.
+	PageSize int
+}
+
+// Registry is a versioned checkpoint store. All methods are safe for
+// concurrent use.
+type Registry struct {
+	store    *simdb.PageStore
+	pageSize int
+
+	mu       sync.Mutex
+	versions map[string][]int // model name → sorted published versions
+	logical  int64            // sum of pre-dedup checkpoint bytes
+	jnl      *journal         // nil without a durable directory
+}
+
+// Manifest describes one published checkpoint version.
+type Manifest struct {
+	Name         string        `json:"name"`
+	Version      int           `json:"version"`
+	Format       int           `json:"format"` // checkpoint format (tensor.SerializeVersion)
+	PageSize     int           `json:"page_size"`
+	Tensors      []TensorEntry `json:"tensors"`
+	LogicalBytes int64         `json:"logical_bytes"`
+}
+
+// TensorEntry is one tensor's shape plus its ordered page hashes.
+type TensorEntry struct {
+	Rows  int      `json:"rows"`
+	Cols  int      `json:"cols"`
+	Pages []string `json:"pages"`
+}
+
+// Open creates a registry over the server's page store. If dir is non-empty
+// it is used as a durable journal: existing journal records are replayed
+// into the store first (so versions published by another process become
+// visible), and subsequent publishes are appended.
+func Open(server *simdb.Server, dir string, opts Options) (*Registry, error) {
+	r := &Registry{
+		store:    server.PageStore(),
+		pageSize: opts.PageSize,
+		versions: make(map[string][]int),
+	}
+	if r.pageSize <= 0 {
+		r.pageSize = DefaultPageSize
+	}
+	if dir != "" {
+		jnl, err := openJournal(dir, r.store, func(m *Manifest) { r.indexManifest(m) })
+		if err != nil {
+			return nil, err
+		}
+		r.jnl = jnl
+	}
+	return r, nil
+}
+
+// indexManifest records a manifest in the in-memory version index.
+func (r *Registry) indexManifest(m *Manifest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.versions[m.Name] = append(r.versions[m.Name], m.Version)
+	sort.Ints(r.versions[m.Name])
+	r.logical += m.LogicalBytes
+}
+
+// Close releases the journal file handles, if any.
+func (r *Registry) Close() error {
+	if r.jnl != nil {
+		return r.jnl.close()
+	}
+	return nil
+}
+
+func manifestKey(name string, version int) string {
+	return fmt.Sprintf("%s@%d", name, version)
+}
+
+// PublishResult reports what a publish cost.
+type PublishResult struct {
+	Name         string  `json:"name"`
+	Version      int     `json:"version"`
+	Pages        int     `json:"pages"`           // pages referenced by the manifest
+	NewPages     int     `json:"new_pages"`       // pages actually stored
+	LogicalBytes int64   `json:"logical_bytes"`   // checkpoint size before dedup
+	StoredBytes  int64   `json:"stored_bytes"`    // bytes newly written to the store
+	SharedFrac   float64 `json:"shared_fraction"` // fraction of bytes deduped away
+}
+
+// Publish stores the given parameter tensors as the next version of name and
+// returns what it cost. Pages already present in the store — typically the
+// frozen encoder of a fine-tuned variant — are referenced, not rewritten.
+func (r *Registry) Publish(ctx context.Context, name string, ts []*tensor.Tensor) (*PublishResult, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: empty model name")
+	}
+	r.mu.Lock()
+	version := 1
+	if vs := r.versions[name]; len(vs) > 0 {
+		version = vs[len(vs)-1] + 1
+	}
+	r.mu.Unlock()
+
+	man := &Manifest{
+		Name:     name,
+		Version:  version,
+		Format:   tensor.SerializeVersion,
+		PageSize: r.pageSize,
+	}
+	res := &PublishResult{Name: name, Version: version}
+	buf := make([]byte, 0, r.pageSize)
+	for _, t := range ts {
+		entry := TensorEntry{Rows: t.Rows, Cols: t.Cols}
+		raw := encodeFloats(t.Data)
+		man.LogicalBytes += int64(len(raw))
+		for off := 0; off < len(raw); off += r.pageSize {
+			end := off + r.pageSize
+			if end > len(raw) {
+				end = len(raw)
+			}
+			buf = append(buf[:0], raw[off:end]...)
+			hash := simdb.PageHash(sha256.Sum256(buf))
+			added, err := r.store.PutPage(ctx, hash, buf)
+			if err != nil {
+				return nil, fmt.Errorf("registry: store page: %w", err)
+			}
+			res.Pages++
+			if added {
+				res.NewPages++
+				res.StoredBytes += int64(end - off)
+				pagesWrittenTotal.Inc()
+				if r.jnl != nil {
+					if err := r.jnl.appendPage(hash, buf); err != nil {
+						return nil, fmt.Errorf("registry: journal page: %w", err)
+					}
+				}
+			} else {
+				pagesDedupedTotal.Inc()
+			}
+			entry.Pages = append(entry.Pages, hex.EncodeToString(hash[:]))
+		}
+		man.Tensors = append(man.Tensors, entry)
+	}
+	res.LogicalBytes = man.LogicalBytes
+	if man.LogicalBytes > 0 {
+		res.SharedFrac = 1 - float64(res.StoredBytes)/float64(man.LogicalBytes)
+	}
+
+	manJSON, err := json.Marshal(man)
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshal manifest: %w", err)
+	}
+	if err := r.store.PutManifest(ctx, manifestKey(name, version), manJSON); err != nil {
+		return nil, err
+	}
+	if r.jnl != nil {
+		if err := r.jnl.appendManifest(manJSON); err != nil {
+			return nil, fmt.Errorf("registry: journal manifest: %w", err)
+		}
+	}
+	r.indexManifest(man)
+	publishesTotal.Inc()
+	return res, nil
+}
+
+// GetManifest fetches and decodes the manifest for name@version.
+func (r *Registry) GetManifest(ctx context.Context, name string, version int) (*Manifest, error) {
+	raw, err := r.store.GetManifest(ctx, manifestKey(name, version))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("registry: decode manifest %s@%d: %w", name, version, err)
+	}
+	return &m, nil
+}
+
+// Checkpoint reassembles name@version into a serialized checkpoint stream,
+// verifying every page against its content hash. The result is exactly what
+// Model.Save would have produced, so Model.Load's atomic validation applies
+// unchanged on the way back in.
+func (r *Registry) Checkpoint(ctx context.Context, name string, version int) ([]byte, error) {
+	man, err := r.GetManifest(ctx, name, version)
+	if err != nil {
+		return nil, err
+	}
+	if man.Format > tensor.SerializeVersion {
+		return nil, fmt.Errorf("registry: %s@%d uses checkpoint format %d, this build reads ≤ %d", name, version, man.Format, tensor.SerializeVersion)
+	}
+	ts := make([]*tensor.Tensor, len(man.Tensors))
+	for i, entry := range man.Tensors {
+		t := tensor.New(entry.Rows, entry.Cols)
+		want := len(t.Data) * 8
+		raw := make([]byte, 0, want)
+		for _, hs := range entry.Pages {
+			var hash simdb.PageHash
+			hb, err := hex.DecodeString(hs)
+			if err != nil || len(hb) != len(hash) {
+				return nil, fmt.Errorf("registry: %s@%d tensor %d: bad page hash %q", name, version, i, hs)
+			}
+			copy(hash[:], hb)
+			page, err := r.store.GetPage(ctx, hash)
+			if err != nil {
+				return nil, fmt.Errorf("registry: %s@%d tensor %d: %w", name, version, i, err)
+			}
+			if sha256.Sum256(page) != [32]byte(hash) {
+				return nil, fmt.Errorf("registry: %s@%d tensor %d: page %s failed verification", name, version, i, hs)
+			}
+			raw = append(raw, page...)
+		}
+		if len(raw) != want {
+			return nil, fmt.Errorf("registry: %s@%d tensor %d: have %d bytes, shape %dx%d needs %d", name, version, i, len(raw), entry.Rows, entry.Cols, want)
+		}
+		decodeFloats(raw, t.Data)
+		ts[i] = t
+	}
+	var out bytes.Buffer
+	if err := tensor.WriteTensors(&out, ts); err != nil {
+		return nil, err
+	}
+	checkpointsServedTotal.Inc()
+	return out.Bytes(), nil
+}
+
+// Latest returns the newest published version of name.
+func (r *Registry) Latest(name string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vs := r.versions[name]
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[len(vs)-1], true
+}
+
+// Versions returns the published versions of name in ascending order.
+func (r *Registry) Versions(name string) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.versions[name]...)
+}
+
+// Models returns all model names with at least one version, sorted.
+func (r *Registry) Models() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.versions))
+	for name := range r.versions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes the registry: version counts plus the dedup economics.
+// DedupRatio is logical/stored — 2.0 means the store holds half of what the
+// checkpoints sum to; SavedBytes is the absolute saving.
+type Stats struct {
+	Models       int     `json:"models"`
+	Versions     int     `json:"versions"`
+	Pages        int     `json:"pages"`
+	LogicalBytes int64   `json:"logical_bytes"`
+	StoredBytes  int64   `json:"stored_bytes"`
+	SavedBytes   int64   `json:"saved_bytes"`
+	DedupRatio   float64 `json:"dedup_ratio"`
+}
+
+// Stats reports the registry's current storage economics.
+func (r *Registry) Stats() Stats {
+	ps := r.store.Stats()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Models:       len(r.versions),
+		Pages:        ps.Pages,
+		LogicalBytes: r.logical,
+		StoredBytes:  ps.PageBytes,
+	}
+	for _, vs := range r.versions {
+		s.Versions += len(vs)
+	}
+	s.SavedBytes = s.LogicalBytes - s.StoredBytes
+	if s.StoredBytes > 0 {
+		s.DedupRatio = float64(s.LogicalBytes) / float64(s.StoredBytes)
+	}
+	logicalBytesGauge.Set(s.LogicalBytes)
+	storedBytesGauge.Set(s.StoredBytes)
+	versionsGauge.Set(int64(s.Versions))
+	return s
+}
+
+// encodeFloats serializes values as little-endian float64 bytes — the same
+// on-the-wire layout WriteTensors uses for tensor data, so a page boundary
+// in the registry corresponds byte-for-byte to the checkpoint stream.
+func encodeFloats(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloats(raw []byte, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+}

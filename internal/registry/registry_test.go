@@ -1,0 +1,271 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/simdb"
+	"repro/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, rows, cols int) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// params builds a small stand-in parameter set: a few "encoder" tensors plus
+// one "classifier head" tensor at the end.
+func params(rng *rand.Rand) []*tensor.Tensor {
+	return []*tensor.Tensor{
+		randTensor(rng, 64, 32),
+		randTensor(rng, 32, 32),
+		randTensor(rng, 32, 16),
+		randTensor(rng, 16, 8),
+	}
+}
+
+func openMem(t *testing.T, pageSize int) *Registry {
+	t.Helper()
+	r, err := Open(simdb.NewServer(simdb.NoLatency), "", Options{PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPublishCheckpointRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ts := params(rng)
+	r := openMem(t, 512)
+	ctx := context.Background()
+
+	res, err := r.Publish(ctx, "taste", ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || res.NewPages != res.Pages || res.NewPages == 0 {
+		t.Fatalf("first publish: %+v", res)
+	}
+
+	ckpt, err := r.Checkpoint(ctx, "taste", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reassembled stream must be exactly what WriteTensors produces.
+	var want bytes.Buffer
+	if err := tensor.WriteTensors(&want, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ckpt, want.Bytes()) {
+		t.Fatal("checkpoint differs from direct serialization")
+	}
+	// And it must load back bit-identically through the validated reader.
+	restored := []*tensor.Tensor{tensor.New(64, 32), tensor.New(32, 32), tensor.New(32, 16), tensor.New(16, 8)}
+	if err := tensor.ReadTensors(bytes.NewReader(ckpt), restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		for j := range ts[i].Data {
+			if ts[i].Data[j] != restored[i].Data[j] {
+				t.Fatalf("tensor %d elem %d drifted through the registry", i, j)
+			}
+		}
+	}
+
+	if _, err := r.Checkpoint(ctx, "taste", 7); err == nil {
+		t.Fatal("want error for unknown version")
+	}
+	if _, err := r.Checkpoint(ctx, "nope", 1); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+}
+
+// TestDedupAcrossVariants is the acceptance pin: two versions that share all
+// but one tensor must store measurably less than two standalone checkpoints.
+func TestDedupAcrossVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := params(rng)
+	variant := make([]*tensor.Tensor, len(base))
+	for i, p := range base {
+		c := tensor.New(p.Rows, p.Cols)
+		copy(c.Data, p.Data)
+		variant[i] = c
+	}
+	// Fine-tuning touches only the classifier head (the last tensor).
+	for i := range variant[len(variant)-1].Data {
+		variant[len(variant)-1].Data[i] += 0.01
+	}
+
+	r := openMem(t, 512)
+	ctx := context.Background()
+	res1, err := r.Publish(ctx, "taste", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Publish(ctx, "taste", variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Version != 2 {
+		t.Fatalf("version = %d, want 2", res2.Version)
+	}
+	if res2.NewPages >= res2.Pages {
+		t.Fatalf("variant stored all %d pages, dedup did nothing", res2.Pages)
+	}
+	if res2.SharedFrac <= 0.5 {
+		t.Fatalf("variant shared fraction = %v, want most of the checkpoint", res2.SharedFrac)
+	}
+
+	st := r.Stats()
+	standalone := res1.LogicalBytes + res2.LogicalBytes
+	if st.StoredBytes >= standalone {
+		t.Fatalf("stored %d bytes ≥ two standalone checkpoints (%d): no dedup", st.StoredBytes, standalone)
+	}
+	if st.SavedBytes <= 0 || st.DedupRatio <= 1 {
+		t.Fatalf("stats report no saving: %+v", st)
+	}
+	if st.Models != 1 || st.Versions != 2 {
+		t.Fatalf("stats counts: %+v", st)
+	}
+
+	// Both versions must still reassemble correctly despite sharing pages.
+	for v, want := range map[int][]*tensor.Tensor{1: base, 2: variant} {
+		ckpt, err := r.Checkpoint(ctx, "taste", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct bytes.Buffer
+		if err := tensor.WriteTensors(&direct, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ckpt, direct.Bytes()) {
+			t.Fatalf("version %d corrupted by page sharing", v)
+		}
+	}
+}
+
+func TestVersionIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := openMem(t, 4096)
+	ctx := context.Background()
+	if _, ok := r.Latest("taste"); ok {
+		t.Fatal("Latest on empty registry")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Publish(ctx, "taste", params(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Publish(ctx, "other", params(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Latest("taste"); !ok || v != 3 {
+		t.Fatalf("Latest = %d, %v", v, ok)
+	}
+	if vs := r.Versions("taste"); len(vs) != 3 || vs[0] != 1 || vs[2] != 3 {
+		t.Fatalf("Versions = %v", vs)
+	}
+	if ms := r.Models(); len(ms) != 2 || ms[0] != "other" || ms[1] != "taste" {
+		t.Fatalf("Models = %v", ms)
+	}
+	if _, err := r.Publish(ctx, "", params(rng)); err == nil {
+		t.Fatal("want error for empty name")
+	}
+}
+
+// TestJournalReplayAcrossProcesses simulates train-then-serve: one registry
+// publishes into a journal dir, a second registry (fresh server, as a new
+// process would have) opens the same dir and sees every version and page.
+func TestJournalReplayAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	base := params(rng)
+	ctx := context.Background()
+
+	w, err := Open(simdb.NewServer(simdb.NoLatency), dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Publish(ctx, "taste", base); err != nil {
+		t.Fatal(err)
+	}
+	wantCkpt, err := w.Checkpoint(ctx, "taste", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := Open(simdb.NewServer(simdb.NoLatency), dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if v, ok := rd.Latest("taste"); !ok || v != 1 {
+		t.Fatalf("replayed Latest = %d, %v", v, ok)
+	}
+	got, err := rd.Checkpoint(ctx, "taste", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantCkpt) {
+		t.Fatal("replayed checkpoint differs")
+	}
+	// Publishing after replay continues the version sequence and dedups
+	// against replayed pages.
+	res, err := rd.Publish(ctx, "taste", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.NewPages != 0 {
+		t.Fatalf("post-replay publish: %+v", res)
+	}
+}
+
+// TestJournalTruncatedTail pins crash tolerance: cutting the logs mid-record
+// must lose at most the unfinished version, never fail to open.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	w, err := Open(simdb.NewServer(simdb.NoLatency), dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Publish(ctx, "taste", params(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Publish(ctx, "taste", params(rng)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	for _, name := range []string{pagesLogName, manifestsLogName} {
+		path := filepath.Join(dir, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)-11], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rd, err := Open(simdb.NewServer(simdb.NoLatency), dir, Options{PageSize: 512})
+	if err != nil {
+		t.Fatalf("truncated journal must still open: %v", err)
+	}
+	defer rd.Close()
+	// Version 1 survives whole (its pages and manifest precede the cut).
+	if _, err := rd.Checkpoint(ctx, "taste", 1); err != nil {
+		t.Fatalf("version 1 lost to an unrelated truncation: %v", err)
+	}
+}

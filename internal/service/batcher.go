@@ -50,9 +50,13 @@ type BatcherStats struct {
 	Panics int
 }
 
-// batchCall is one queued InferContentBatch submission.
+// batchCall is one queued InferContentBatch submission. The model is the
+// one the submitting request captured at admission; calls pinned to
+// different models (e.g. across a hot-swap, or a per-request version
+// override) are never coalesced into the same forward.
 type batchCall struct {
 	ctx      context.Context
+	model    *adtd.Model
 	reqs     []adtd.ContentRequest
 	n        int
 	enqueued time.Time
@@ -68,13 +72,12 @@ type batchResult struct {
 // concurrent requests. Create with NewBatcher, plug in with
 // Detector.SetContentInferencer, and Stop when shutting down.
 type Batcher struct {
-	model    *adtd.Model
 	window   time.Duration
 	maxBatch int // flush early once this many chunks are queued
 
-	// forward runs one coalesced model forward. Defaults to
-	// model.PredictContentBatch; tests swap it to inject panics.
-	forward func(reqs []adtd.ContentRequest, n int) [][][]float64
+	// forward runs one coalesced model forward on the group's model.
+	// Defaults to m.PredictContentBatch; tests swap it to inject panics.
+	forward func(m *adtd.Model, reqs []adtd.ContentRequest, n int) [][][]float64
 
 	mu      sync.Mutex
 	pending []*batchCall
@@ -87,23 +90,26 @@ type Batcher struct {
 	runs sync.WaitGroup // in-flight run goroutines spawned by flush
 }
 
-// NewBatcher creates and starts a micro-batcher over the model. window is
-// how long the first submission of a batch may wait for company; maxBatch
-// caps the chunks per model forward (≤ 1 disables coalescing in all but
-// name). The batcher runs until Stop.
-func NewBatcher(model *adtd.Model, window time.Duration, maxBatch int) *Batcher {
+// NewBatcher creates and starts a micro-batcher. The model comes with each
+// submission (the detector passes the request's pinned model), so one
+// batcher serves across hot-swaps. window is how long the first submission
+// of a batch may wait for company; maxBatch caps the chunks per model
+// forward (≤ 1 disables coalescing in all but name). The batcher runs until
+// Stop.
+func NewBatcher(window time.Duration, maxBatch int) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	b := &Batcher{
-		model:    model,
 		window:   window,
 		maxBatch: maxBatch,
 		wake:     make(chan struct{}, 1),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	b.forward = model.PredictContentBatch
+	b.forward = func(m *adtd.Model, reqs []adtd.ContentRequest, n int) [][][]float64 {
+		return m.PredictContentBatch(reqs, n)
+	}
 	go b.collect()
 	return b
 }
@@ -136,16 +142,16 @@ func (b *Batcher) Stats() BatcherStats {
 // dies while queued or in flight the context error is returned immediately —
 // the detector's degradation ladder turns that into a 200-degraded answer,
 // never a 500.
-func (b *Batcher) InferContentBatch(ctx context.Context, reqs []adtd.ContentRequest, n int) ([][][]float64, error) {
+func (b *Batcher) InferContentBatch(ctx context.Context, m *adtd.Model, reqs []adtd.ContentRequest, n int) ([][][]float64, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
 	b.mu.Lock()
 	if b.stopped || b.window <= 0 {
 		b.mu.Unlock()
-		return b.forward(reqs, n), nil
+		return b.forward(m, reqs, n), nil
 	}
-	call := &batchCall{ctx: ctx, reqs: reqs, n: n, enqueued: time.Now(), out: make(chan batchResult, 1)}
+	call := &batchCall{ctx: ctx, model: m, reqs: reqs, n: n, enqueued: time.Now(), out: make(chan batchResult, 1)}
 	b.pending = append(b.pending, call)
 	b.stats.Submissions++
 	b.mu.Unlock()
@@ -232,7 +238,9 @@ func (b *Batcher) collect() {
 // its own goroutine so the collector immediately resumes gathering the next
 // batch. Submissions whose context already died are answered with the
 // context error instead of joining the forward; submissions with different
-// cell budgets n are grouped into separate forwards (they cannot share one).
+// cell budgets n or pinned to different models are grouped into separate
+// forwards (they cannot share one — mixing models would answer part of a
+// batch with the wrong weights).
 func (b *Batcher) flush() {
 	b.mu.Lock()
 	calls := b.pending
@@ -260,9 +268,14 @@ func (b *Batcher) flush() {
 		batcherQueueDelaySeconds.ObserveDuration(d)
 	}
 	batcherDeadlineDroppedTotal.Add(int64(dropped))
-	groups := make(map[int][]*batchCall)
+	type groupKey struct {
+		model *adtd.Model
+		n     int
+	}
+	groups := make(map[groupKey][]*batchCall)
 	for _, c := range live {
-		groups[c.n] = append(groups[c.n], c)
+		k := groupKey{model: c.model, n: c.n}
+		groups[k] = append(groups[k], c)
 	}
 
 	b.mu.Lock()
@@ -321,7 +334,7 @@ func (b *Batcher) run(g []*batchCall) {
 	for _, c := range g {
 		all = append(all, c.reqs...)
 	}
-	batch := b.forward(all, g[0].n)
+	batch := b.forward(g[0].model, all, g[0].n)
 	off := 0
 	for _, c := range g {
 		c.out <- batchResult{probs: batch[off : off+len(c.reqs)]}

@@ -19,7 +19,7 @@ import (
 func batchedService(t *testing.T, window time.Duration, maxBatch int) *Service {
 	t.Helper()
 	testService(t) // ensure the shared model is trained
-	det, err := core.NewDetector(shared.det.Model, core.DefaultOptions())
+	det, err := core.NewDetector(shared.det.Model(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,10 +165,10 @@ func TestBatcherDeadlineDegradedNot500(t *testing.T) {
 // dropped at flush without reaching the model.
 func TestBatcherDropsDeadSubmissions(t *testing.T) {
 	testService(t)
-	b := NewBatcher(shared.det.Model, 20*time.Millisecond, 8)
+	b := NewBatcher(20*time.Millisecond, 8)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := b.InferContentBatch(ctx, make([]adtd.ContentRequest, 1), 5); err != context.Canceled {
+	if _, err := b.InferContentBatch(ctx, shared.det.Model(), make([]adtd.ContentRequest, 1), 5); err != context.Canceled {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	b.Stop() // drains the queue, counting the drop
@@ -184,9 +184,9 @@ func TestBatcherDropsDeadSubmissions(t *testing.T) {
 // unbatched — so shutdown never wedges in-flight detection.
 func TestBatcherStoppedRunsDirect(t *testing.T) {
 	testService(t)
-	b := NewBatcher(shared.det.Model, 20*time.Millisecond, 8)
+	b := NewBatcher(20*time.Millisecond, 8)
 	b.Stop()
-	out, err := b.InferContentBatch(context.Background(), nil, 5)
+	out, err := b.InferContentBatch(context.Background(), shared.det.Model(), nil, 5)
 	if err != nil || out != nil {
 		t.Fatalf("empty submission after Stop: out=%v err=%v", out, err)
 	}

@@ -41,6 +41,12 @@ type DetectRequest struct {
 	// served through the cross-request batcher, which always follows the
 	// process default.
 	Quantize *bool `json:"quantize,omitempty"`
+	// ModelVersion, when positive, pins this request to a published registry
+	// version instead of the serving model — e.g. to compare a candidate
+	// against the live model, or to keep a tenant on a validated version
+	// across a fleet-wide swap. Requires a registry (tasted -registry);
+	// unknown versions are 404.
+	ModelVersion int `json:"model_version,omitempty"`
 }
 
 // RouteKey is the consistent-hash key a fleet coordinator shards this
@@ -95,6 +101,10 @@ type DetectResponse struct {
 	// Retries counts transient-error retries spent on this request.
 	Retries int      `json:"retries"`
 	Errors  []string `json:"errors,omitempty"`
+	// ModelVersion is the registry version that served this request: the
+	// per-request override when one was given, else the serving version.
+	// Omitted when the model has no registry identity.
+	ModelVersion int `json:"model_version,omitempty"`
 	// Trace is the request's span tree, present when the request set
 	// "trace": true.
 	Trace *obs.SpanNode `json:"trace,omitempty"`
@@ -185,6 +195,20 @@ func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectRespons
 	if req.Quantize != nil {
 		ctx = core.WithQuantize(ctx, *req.Quantize)
 	}
+	// Pin the request's model here, once: the version label below is derived
+	// from the same pointer, so even a hot-swap racing this request cannot
+	// produce a response computed on one model but labeled with another's
+	// version.
+	m := s.detector.Model()
+	if req.ModelVersion > 0 {
+		var apiErr *APIError
+		m, apiErr = s.modelForVersion(ctx, req.ModelVersion)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+	}
+	ctx = core.WithModel(ctx, m)
+	modelVersion := s.versionOf(m)
 	var root *obs.Span
 	if req.Trace {
 		ctx, root = obs.NewTrace(ctx, "detect "+req.Database)
@@ -199,7 +223,7 @@ func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectRespons
 		defer cancel()
 	}
 
-	resp := &DetectResponse{Database: req.Database}
+	resp := &DetectResponse{Database: req.Database, ModelVersion: modelVersion}
 	start := time.Now()
 	// finish stamps the duration and trace and records the request's
 	// outcome metrics.

@@ -17,6 +17,10 @@ var (
 		"error":    obs.Default.Counter("taste_detect_requests_total", "outcome", "error"),
 	}
 
+	modelSwapsTotal      = obs.Default.Counter("taste_model_swaps_total")
+	modelSwapErrorsTotal = obs.Default.Counter("taste_model_swap_errors_total")
+	servingVersionGauge  = obs.Default.Gauge("taste_model_serving_version")
+
 	batcherQueueDelaySeconds    = obs.Default.LatencyHistogram("taste_batcher_queue_delay_seconds")
 	batcherBatchChunks          = obs.Default.Histogram("taste_batcher_batch_chunks", obs.ExpBuckets(1, 2, 8))
 	batcherSubmissionsTotal     = obs.Default.Counter("taste_batcher_submissions_total")

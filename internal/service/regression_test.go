@@ -74,9 +74,9 @@ func TestConcurrentRetryAttribution(t *testing.T) {
 // delivers the error to all unanswered calls.
 func TestBatcherPanicAnswersSubmitters(t *testing.T) {
 	svc, _ := testService(t)
-	b := NewBatcher(svc.detector.Model, 5*time.Millisecond, 64)
+	b := NewBatcher(5*time.Millisecond, 64)
 	defer b.Stop()
-	b.forward = func([]adtd.ContentRequest, int) [][][]float64 {
+	b.forward = func(*adtd.Model, []adtd.ContentRequest, int) [][][]float64 {
 		panic("injected forward failure")
 	}
 
@@ -89,7 +89,7 @@ func TestBatcherPanicAnswersSubmitters(t *testing.T) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			_, err := b.InferContentBatch(ctx, []adtd.ContentRequest{{}}, 4)
+			_, err := b.InferContentBatch(ctx, svc.detector.Model(), []adtd.ContentRequest{{}}, 4)
 			errs[i] = err
 			if ctx.Err() != nil {
 				t.Error("submitter hung until its deadline instead of being answered")
@@ -113,9 +113,9 @@ func TestBatcherPanicAnswersSubmitters(t *testing.T) {
 // because Stop is a barrier — under -race the old behavior fails.
 func TestBatcherStopQuiescence(t *testing.T) {
 	svc, _ := testService(t)
-	b := NewBatcher(svc.detector.Model, 50*time.Millisecond, 64)
+	b := NewBatcher(50*time.Millisecond, 64)
 	forwards := 0 // intentionally unsynchronized; see above
-	b.forward = func(reqs []adtd.ContentRequest, _ int) [][][]float64 {
+	b.forward = func(_ *adtd.Model, reqs []adtd.ContentRequest, _ int) [][][]float64 {
 		time.Sleep(20 * time.Millisecond)
 		forwards++
 		return make([][][]float64, len(reqs))
@@ -126,7 +126,7 @@ func TestBatcherStopQuiescence(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = b.InferContentBatch(context.Background(), []adtd.ContentRequest{{}}, 4)
+			_, _ = b.InferContentBatch(context.Background(), svc.detector.Model(), []adtd.ContentRequest{{}}, 4)
 		}()
 	}
 	time.Sleep(10 * time.Millisecond) // let the calls enqueue

@@ -26,12 +26,15 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/adtd"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/metafeat"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/simdb"
 )
 
@@ -45,6 +48,17 @@ type Service struct {
 	defaultDeadline time.Duration
 	batcher         *Batcher
 	flight          *cache.Group[flightResult]
+
+	// Model registry state (models.go). regMu guards the registry handle
+	// and the materialized-version cache; the serving version and swap
+	// count are atomics so the stats path never takes the lock.
+	regMu          sync.Mutex
+	registry       *registry.Registry
+	modelName      string
+	verCache       map[int]*adtd.Model
+	verOrder       []int
+	servingVersion atomic.Int64
+	swaps          atomic.Int64
 }
 
 // New creates a service around a detector. Pipelined requests default to
@@ -77,7 +91,7 @@ func (s *Service) EnableBatching(window time.Duration, maxBatch int) {
 	if window <= 0 {
 		return
 	}
-	s.batcher = NewBatcher(s.detector.Model, window, maxBatch)
+	s.batcher = NewBatcher(window, maxBatch)
 	s.detector.SetContentInferencer(s.batcher)
 }
 
@@ -110,6 +124,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/types", s.handleTypes)
 	mux.HandleFunc("/v1/detect", s.handleDetect)
 	mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/swap", s.handleModelSwap)
+	mux.HandleFunc("/v1/models/publish", s.handleModelPublish)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.Handle("/metrics", s.MetricsHandler())
 	return mux
@@ -134,7 +151,7 @@ func (s *Service) handleTypes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	names := s.detector.Model.Types.Names()
+	names := s.detector.Model().Types.Names()
 	writeJSON(w, http.StatusOK, map[string]interface{}{"types": names[1:], "background": names[0]})
 }
 
@@ -211,6 +228,7 @@ func (s *Service) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "feedback: %v", err)
 		return
 	}
+	s.noteServingDrift()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"applied":   true,
 		"feedbacks": len(s.detector.FeedbackLog()),
@@ -230,6 +248,10 @@ type CacheBlock struct {
 type StatsResponse struct {
 	Tenants map[string]simdb.AccountingSnapshot `json:"tenants"`
 	Cache   CacheBlock                          `json:"cache"`
+	// Model describes the serving model: registry version, weight
+	// generation, hot-swap count, and (with a registry attached) the
+	// registry's dedup economics.
+	Model ModelBlock `json:"model"`
 	// Detector is the fault-tolerance ledger: retries spent and columns
 	// degraded since the service started.
 	Detector struct {
@@ -278,6 +300,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	resp.Cache = s.CacheStats()
+	resp.Model = s.ModelStats()
 	fs := s.detector.FaultStats()
 	resp.Detector.Retries = fs.Retries
 	resp.Detector.DegradedColumns = fs.DegradedColumns

@@ -1,0 +1,142 @@
+package simdb
+
+import (
+	"context"
+	"crypto/sha256"
+	"strings"
+	"testing"
+)
+
+func hashOf(data []byte) PageHash { return PageHash(sha256.Sum256(data)) }
+
+func TestPageStorePutGetDedup(t *testing.T) {
+	s := NewServer(NoLatency)
+	ps := s.PageStore()
+	ctx := context.Background()
+
+	a := []byte("page-a contents 0123456789")
+	b := []byte("page-b different contents")
+
+	added, err := ps.PutPage(ctx, hashOf(a), a)
+	if err != nil || !added {
+		t.Fatalf("first put: added=%v err=%v", added, err)
+	}
+	// Identical content must dedup: not added, nothing new stored.
+	added, err = ps.PutPage(ctx, hashOf(a), a)
+	if err != nil || added {
+		t.Fatalf("dup put: added=%v err=%v", added, err)
+	}
+	if _, err := ps.PutPage(ctx, hashOf(b), b); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ps.GetPage(ctx, hashOf(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(a) {
+		t.Fatalf("round trip: got %q", got)
+	}
+	// The returned slice is a copy: mutating it must not poison the store.
+	got[0] = 'X'
+	again, err := ps.GetPage(ctx, hashOf(a))
+	if err != nil || string(again) != string(a) {
+		t.Fatalf("store mutated through returned slice: %q err=%v", again, err)
+	}
+
+	if _, err := ps.GetPage(ctx, hashOf([]byte("missing"))); err == nil {
+		t.Fatal("want error for missing page")
+	}
+
+	st := ps.Stats()
+	if st.Pages != 2 {
+		t.Fatalf("Pages = %d, want 2", st.Pages)
+	}
+	if want := int64(len(a) + len(b)); st.PageBytes != want {
+		t.Fatalf("PageBytes = %d, want %d", st.PageBytes, want)
+	}
+
+	acct := s.Accounting().Snapshot()
+	if acct.PagesStored != 2 {
+		t.Fatalf("accounting PagesStored = %d, want 2 (dedup hit must not count)", acct.PagesStored)
+	}
+	if acct.PageBytes != len(a)+len(b) {
+		t.Fatalf("accounting PageBytes = %d", acct.PageBytes)
+	}
+	if acct.BlobBytesRead != 2*len(a) {
+		t.Fatalf("accounting BlobBytesRead = %d, want %d", acct.BlobBytesRead, 2*len(a))
+	}
+}
+
+func TestPageStoreManifests(t *testing.T) {
+	s := NewServer(NoLatency)
+	ps := s.PageStore()
+	ctx := context.Background()
+
+	if err := ps.PutManifest(ctx, "base@1", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.PutManifest(ctx, "base@2", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Versions are immutable: re-publishing the same key must fail.
+	err := ps.PutManifest(ctx, "base@1", []byte(`{"v":9}`))
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("want already-exists error, got %v", err)
+	}
+
+	got, err := ps.GetManifest(ctx, "base@2")
+	if err != nil || string(got) != `{"v":2}` {
+		t.Fatalf("GetManifest: %q, %v", got, err)
+	}
+	if _, err := ps.GetManifest(ctx, "nope"); err == nil {
+		t.Fatal("want error for missing manifest")
+	}
+
+	keys, err := ps.ListManifests(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "base@1" || keys[1] != "base@2" {
+		t.Fatalf("ListManifests = %v", keys)
+	}
+	if st := ps.Stats(); st.Manifests != 2 {
+		t.Fatalf("Manifests = %d", st.Manifests)
+	}
+}
+
+func TestPageStoreRespectsContext(t *testing.T) {
+	s := NewServer(PaperLatency(1))
+	ps := s.PageStore()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ps.PutPage(ctx, hashOf([]byte("x")), []byte("x")); err == nil {
+		t.Fatal("cancelled context must abort PutPage")
+	}
+	if st := ps.Stats(); st.Pages != 0 {
+		t.Fatalf("aborted put stored a page: %+v", st)
+	}
+}
+
+func TestPageStoreSingletonAndEnumeration(t *testing.T) {
+	s := NewServer(NoLatency)
+	if s.PageStore() != s.PageStore() {
+		t.Fatal("PageStore must be a per-server singleton")
+	}
+	ctx := context.Background()
+	ps := s.PageStore()
+	for _, d := range [][]byte{[]byte("1"), []byte("2"), []byte("3")} {
+		if _, err := ps.PutPage(ctx, hashOf(d), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := ps.sortedPageHashes()
+	if len(hs) != 3 {
+		t.Fatalf("sortedPageHashes = %v", hs)
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1] >= hs[i] {
+			t.Fatal("hashes not sorted")
+		}
+	}
+}

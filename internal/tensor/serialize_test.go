@@ -2,6 +2,8 @@ package tensor
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -65,5 +67,129 @@ func TestReadTensorsTruncated(t *testing.T) {
 	err := ReadTensors(bytes.NewReader(trunc), []*Tensor{New(4, 4)})
 	if err == nil {
 		t.Fatal("want truncation error")
+	}
+}
+
+// snapshot copies every tensor's data for later bit-identity comparison.
+func snapshot(ts []*Tensor) [][]float64 {
+	out := make([][]float64, len(ts))
+	for i, t := range ts {
+		out[i] = append([]float64(nil), t.Data...)
+	}
+	return out
+}
+
+func assertUnchanged(t *testing.T, ts []*Tensor, snap [][]float64) {
+	t.Helper()
+	for i, tt := range ts {
+		for j, v := range tt.Data {
+			if v != snap[i][j] {
+				t.Fatalf("tensor %d elem %d mutated by failed load: %v != %v", i, j, v, snap[i][j])
+			}
+		}
+	}
+}
+
+// TestReadTensorsAtomicOnFailure is the non-atomic-load regression pin: a
+// checkpoint that fails mid-decode — truncated in the middle of the second
+// tensor, shape-mismatched past the first, or carrying trailing garbage —
+// must leave the destination tensors bit-identical to their pre-Load state.
+func TestReadTensorsAtomicOnFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, []*Tensor{randParam(rng, 4, 4), randParam(rng, 8, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	dest := func() []*Tensor { return []*Tensor{randParam(rng, 4, 4), randParam(rng, 8, 2)} }
+
+	cases := map[string][]byte{
+		// Cut inside the second tensor's data: the first tensor decodes
+		// cleanly, so a non-atomic reader would have clobbered it already.
+		"truncated": full[:len(full)-17],
+		// Trailing garbage after a valid stream.
+		"trailing": append(append([]byte(nil), full...), 0xde, 0xad),
+	}
+	for name, data := range cases {
+		ts := dest()
+		snap := snapshot(ts)
+		if err := ReadTensors(bytes.NewReader(data), ts); err == nil {
+			t.Fatalf("%s: want error, got nil", name)
+		}
+		assertUnchanged(t, ts, snap)
+	}
+
+	// Shape mismatch on the second tensor only: tensor #0 matches and fully
+	// decodes before the failure is discovered.
+	ts := []*Tensor{randParam(rng, 4, 4), randParam(rng, 2, 8)}
+	snap := snapshot(ts)
+	if err := ReadTensors(bytes.NewReader(full), ts); err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("want shape mismatch, got %v", err)
+	}
+	assertUnchanged(t, ts, snap)
+}
+
+func TestReadTensorsRejectsTrailingBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := WriteTensors(&buf, []*Tensor{randParam(rng, 3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	// A second concatenated checkpoint is the classic way to get a
+	// prefix-matching file that used to load "successfully".
+	if err := WriteTensors(&buf, []*Tensor{randParam(rng, 3, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	err := ReadTensors(bytes.NewReader(buf.Bytes()), []*Tensor{New(3, 3)})
+	if err == nil || !strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("want trailing-bytes error, got %v", err)
+	}
+}
+
+// writeTensorsV1 emits the legacy unversioned "TSR1" layout byte for byte,
+// standing in for a checkpoint written before the version field existed.
+func writeTensorsV1(buf *bytes.Buffer, ts []*Tensor) {
+	buf.WriteString(serializeMagicV1)
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[:4], uint32(len(ts)))
+	buf.Write(w[:4])
+	for _, t := range ts {
+		binary.LittleEndian.PutUint32(w[:4], uint32(t.Rows))
+		buf.Write(w[:4])
+		binary.LittleEndian.PutUint32(w[:4], uint32(t.Cols))
+		buf.Write(w[:4])
+		for _, v := range t.Data {
+			binary.LittleEndian.PutUint64(w[:], math.Float64bits(v))
+			buf.Write(w[:])
+		}
+	}
+}
+
+func TestReadTensorsAcceptsLegacyV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	orig := []*Tensor{randParam(rng, 5, 3)}
+	var buf bytes.Buffer
+	writeTensorsV1(&buf, orig)
+	restored := []*Tensor{New(5, 3)}
+	if err := ReadTensors(&buf, restored); err != nil {
+		t.Fatalf("legacy v1 checkpoint rejected: %v", err)
+	}
+	for j := range orig[0].Data {
+		if orig[0].Data[j] != restored[0].Data[j] {
+			t.Fatalf("elem %d: %v != %v", j, orig[0].Data[j], restored[0].Data[j])
+		}
+	}
+}
+
+func TestReadTensorsRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(serializeMagic)
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], uint32(SerializeVersion+1))
+	buf.Write(w[:])
+	err := ReadTensors(&buf, nil)
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Fatalf("want unsupported-version error, got %v", err)
 	}
 }

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Model-registry smoke test: the full train → publish → serve → adapt →
+# republish → hot-swap loop against real binaries (DESIGN.md §15).
+#
+#  1. tastetrain -publish stores the trained checkpoint in a journaled
+#     registry as taste@1.
+#  2. tasted -registry boots serving taste@1 straight from the registry.
+#  3. Online feedback adapts the serving weights; the serving version must
+#     drop to 0 (the weights drifted off the published version).
+#  4. POST /v1/models/publish stores the adapted weights as taste@2, and the
+#     publish must dedup against taste@1: fewer new pages than total pages,
+#     stored bytes < logical bytes, dedup ratio > 1.
+#  5. Hot-swaps between the two versions run under concurrent detect load:
+#     every response must be a 200 labeled with a version in {1,2}.
+#
+# Run from the repo root (CI does).
+set -euo pipefail
+
+ADDR=127.0.0.1:18100
+TMP=$(mktemp -d)
+REG="$TMP/registry"
+LOG="$TMP/tasted.log"
+TRAIN="$TMP/tastetrain"
+SERVE="$TMP/tasted"
+
+cleanup() {
+    [[ -n "${PID:-}" ]] && kill "$PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# jq-free JSON field extraction: first occurrence of a numeric field
+# (empty when the field is absent, e.g. omitempty zeros).
+jnum() { grep -o "\"$1\":[0-9.]*" | head -1 | cut -d: -f2 || true; }
+
+go build -o "$TRAIN" ./cmd/tastetrain
+go build -o "$SERVE" ./cmd/tasted
+
+# 1. Train a tiny model and publish it as taste@1.
+"$TRAIN" -model taste -tables 24 -seed 1 -epochs 1 -o "$TMP/taste.ckpt" -publish "$REG"
+[[ -f "$REG/pages.log" && -f "$REG/manifests.log" ]] \
+    || { echo "registry journal files missing in $REG" >&2; ls -la "$REG" >&2; exit 1; }
+
+# 2. Serve straight from the registry (corpus knobs must match training).
+"$SERVE" -registry "$REG" -tables 24 -seed 1 -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+for i in $(seq 1 120); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "tasted exited before becoming healthy:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || { echo "tasted never became healthy" >&2; cat "$LOG" >&2; exit 1; }
+
+MODELS=$(curl -sf "http://$ADDR/v1/models")
+grep -qF '"taste":[1]' <<<"$MODELS" || { echo "registry listing missing taste@1: $MODELS" >&2; exit 1; }
+
+DETECT=$(curl -sf -XPOST "http://$ADDR/v1/detect" -d '{"database":"demo"}')
+V=$(jnum model_version <<<"$DETECT")
+[[ "$V" == 1 ]] || { echo "detect served model_version=$V, want 1" >&2; exit 1; }
+
+# 3. Feedback drifts the serving weights off version 1.
+TABLE=$(grep -o '"table":"[^"]*"' <<<"$DETECT" | head -1 | cut -d'"' -f4)
+COLUMN=$(grep -o '"column":"[^"]*"' <<<"$DETECT" | head -1 | cut -d'"' -f4)
+curl -sf -XPOST "http://$ADDR/v1/feedback" \
+    -d "{\"database\":\"demo\",\"table\":\"$TABLE\",\"column\":\"$COLUMN\",\"labels\":[\"email\"]}" >/dev/null
+STATS=$(curl -sf "http://$ADDR/v1/stats")
+SV=$(grep -o '"model":{[^}]*' <<<"$STATS" | jnum version)
+[[ "${SV:-0}" == "" || "${SV:-0}" == 0 ]] \
+    || { echo "serving version after feedback = $SV, want 0 (drifted)" >&2; exit 1; }
+
+# 4. Publish the adapted weights: must dedup against version 1.
+PUB=$(curl -sf -XPOST "http://$ADDR/v1/models/publish" -d '{}')
+PAGES=$(jnum pages <<<"$PUB")
+NEW=$(jnum new_pages <<<"$PUB")
+[[ "$(jnum version <<<"$PUB")" == 2 ]] || { echo "republish version != 2: $PUB" >&2; exit 1; }
+[[ "$NEW" -lt "$PAGES" ]] || { echo "no dedup: $NEW new of $PAGES pages: $PUB" >&2; exit 1; }
+
+MODELS=$(curl -sf "http://$ADDR/v1/models")
+LOGICAL=$(jnum logical_bytes <<<"$MODELS")
+STORED=$(jnum stored_bytes <<<"$MODELS")
+SAVED=$(jnum saved_bytes <<<"$MODELS")
+[[ "$STORED" -lt "$LOGICAL" && "$SAVED" -gt 0 ]] \
+    || { echo "two variants did not dedup: stored=$STORED logical=$LOGICAL saved=$SAVED" >&2; exit 1; }
+
+# 5. Hot-swap between the versions under concurrent detect load.
+LOADLOG="$TMP/load.log"
+( for i in $(seq 1 20); do
+      curl -s -o /dev/null -w '%{http_code} ' -XPOST "http://$ADDR/v1/detect" -d '{"database":"demo"}'
+  done > "$LOADLOG" ) &
+LOADPID=$!
+for v in 1 2; do
+    SWAP=$(curl -sf -XPOST "http://$ADDR/v1/models/swap" -d "{\"version\":$v}")
+    [[ "$(jnum version <<<"$SWAP")" == "$v" ]] || { echo "swap to $v failed: $SWAP" >&2; exit 1; }
+done
+wait "$LOADPID"
+CODES=$(cat "$LOADLOG")
+[[ "$CODES" =~ ^(200\ )+$ ]] || { echo "detects under swap load returned: $CODES" >&2; exit 1; }
+
+STATS=$(curl -sf "http://$ADDR/v1/stats")
+MODELBLOCK=$(grep -o '"model":{[^}]*' <<<"$STATS")
+[[ "$(jnum version <<<"$MODELBLOCK")" == 2 ]] || { echo "final serving version != 2: $MODELBLOCK" >&2; exit 1; }
+[[ "$(jnum swaps <<<"$MODELBLOCK")" == 2 ]] || { echo "swap count != 2: $MODELBLOCK" >&2; exit 1; }
+DETECT=$(curl -sf -XPOST "http://$ADDR/v1/detect" -d '{"database":"demo"}')
+[[ "$(jnum model_version <<<"$DETECT")" == 2 ]] || { echo "post-swap detect not on version 2" >&2; exit 1; }
+
+echo "registry smoke: OK (pages=$PAGES new_pages=$NEW saved_bytes=$SAVED)"
