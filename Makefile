@@ -13,7 +13,7 @@ GO ?= go
 # page store backs concurrent publish/checkpoint traffic.
 RACE_PKGS = ./internal/tensor/... ./internal/nn/... ./internal/train/... ./internal/adtd/... ./internal/sherlock/... ./internal/baselines/... ./internal/cache/... ./internal/pipeline/... ./internal/simdb/... ./internal/service/... ./internal/obs/... ./internal/fleet/... ./internal/retry/... ./internal/registry/...
 
-.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-cache bench-smoke metrics-smoke fleet-smoke cache-smoke registry-smoke clean
+.PHONY: build vet test race race-all fuzz ci bench bench-fleet bench-cache bench-pipeline bench-gate bench-smoke metrics-smoke fleet-smoke cache-smoke registry-smoke clean
 
 build:
 	$(GO) build ./...
@@ -72,11 +72,13 @@ race-all:
 # their fp64 counterparts across the GOMAXPROCS matrix), the
 # fleet-serving set (BENCH_7.json: seeded open-/closed-loop load against
 # an in-process 3-replica fleet — latency quantiles, throughput, shed rate,
-# per-replica distribution), and the tiered-cache set (BENCH_8.json:
+# per-replica distribution), the tiered-cache set (BENCH_8.json:
 # cold vs warm detect p50/p99, result-cache speedup, byte parity, plus a
-# Zipf-skewed fleet load run).
+# Zipf-skewed fleet load run), and the pipeline set (BENCH_10.json:
+# whole-database detection over 200 narrow tables, sequential vs
+# work-stealing vs cross-table-batched, with byte parity enforced).
 bench:
-	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
+	scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json BENCH_10.json
 
 # bench-fleet re-records only BENCH_7.json (the fleet suite trains a model,
 # so it dominates a full bench run's wall-clock).
@@ -89,6 +91,20 @@ bench-fleet:
 bench-cache:
 	CACHE_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
 
+# bench-pipeline re-records only BENCH_10.json: the work-stealing scheduler
+# and cross-table batching suite over the many-small-tables corpus.
+bench-pipeline:
+	PIPELINE_ONLY=1 scripts/bench.sh BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json BENCH_10.json
+
+# bench-gate re-runs the pipeline suite and fails on a >15% p50 regression
+# against the checked-in BENCH_10.json — but only when the baseline was
+# recorded on the same platform/cpus/go version (latency comparisons are
+# only honest back-to-back on one machine; elsewhere it skips). Byte parity
+# and the ≥5× forward-reduction floor are enforced unconditionally by the
+# benchmark itself.
+bench-gate:
+	sh scripts/bench_gate.sh BENCH_10.json
+
 # bench-smoke compiles and runs every benchmark exactly once — no timing
 # value, but it keeps the benchmark code from rotting between full runs.
 # The second pass repeats one quantized pair so the int8 kernels are
@@ -99,4 +115,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
+	rm -f BENCH_1.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json BENCH_10.json

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// canonTables serializes per-table results for byte comparison across
+// execution modes.
+func canonTables(t *testing.T, rep *Report) string {
+	t.Helper()
+	out, err := json.Marshal(rep.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCrossTableBatchingReducesForwards: over a database of many narrow
+// tables with every column uncertain, cross-table batching must coalesce
+// the per-table Phase-2 forwards ≥5× while producing byte-identical
+// results — the batch mask keeps per-chunk outputs independent of batch
+// composition, so a bigger batch is purely fewer model calls.
+func TestCrossTableBatchingReducesForwards(t *testing.T) {
+	det, ds := phase2Detector(t, 40)
+	tables := allTables(ds)
+	server := newServerWith(tables)
+
+	seq, err := det.DetectDatabase(context.Background(), server, "tenant", SequentialMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ContentForwards != len(tables) {
+		t.Fatalf("sequential forwards = %d, want one per table (%d)", seq.ContentForwards, len(tables))
+	}
+
+	det2, _ := phase2Detector(t, 40) // fresh caches
+	mode := ExecMode{Pipelined: true, Workers: 8, BatchChunks: 8}
+	batched, err := det2.DetectDatabase(context.Background(), server, "tenant", mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.ContentForwards == 0 {
+		t.Fatal("batched run reported zero content forwards")
+	}
+	if drop := float64(seq.ContentForwards) / float64(batched.ContentForwards); drop < 5 {
+		t.Fatalf("forwards drop = %.1fx (%d vs %d), want ≥ 5x",
+			drop, batched.ContentForwards, seq.ContentForwards)
+	}
+	if canonTables(t, seq) != canonTables(t, batched) {
+		t.Fatal("batched results differ from sequential results")
+	}
+
+	det3, _ := phase2Detector(t, 40)
+	unbatched, err := det3.DetectDatabase(context.Background(), server, "tenant",
+		ExecMode{Pipelined: true, Workers: 8, BatchChunks: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbatched.ContentForwards != seq.ContentForwards {
+		t.Fatalf("BatchChunks<0 must disable coalescing: forwards = %d, want %d",
+			unbatched.ContentForwards, seq.ContentForwards)
+	}
+	if canonTables(t, seq) != canonTables(t, unbatched) {
+		t.Fatal("unbatched stealing results differ from sequential results")
+	}
+}

@@ -387,7 +387,22 @@ type Report struct {
 	Retries     int
 	CacheHits   int
 	CacheMisses int
-	Errors      []error
+	// ContentForwards counts the Phase-2 content batches this request sent
+	// to the model — each one padded batched forward in direct mode, or one
+	// submission to the cross-request inferencer. Cross-table batching
+	// exists to shrink this number (DESIGN.md §16).
+	ContentForwards int
+	// PrefetchHits/PrefetchWasted/PrefetchSkipped summarize the scan
+	// prefetcher: consumed reads, reads completed for nothing, and reads
+	// declined by a capacity brake.
+	PrefetchHits    int
+	PrefetchWasted  int
+	PrefetchSkipped int
+	// Steals and StolenStages summarize work-stealing migrations during
+	// pipelined execution.
+	Steals       int64
+	StolenStages int64
+	Errors       []error
 }
 
 // ScannedRatio returns the intrusiveness metric of §6.2.
@@ -413,13 +428,44 @@ func (r *Report) Find(table, column string) *ColumnResult {
 	return nil
 }
 
-// ExecMode selects how a batch is executed (§5).
+// ExecMode selects how a batch is executed (§5, DESIGN.md §16).
+//
+// Zero-value semantics, uniform across every tunable below: 0 always means
+// "use the default" (resolved against the detector's Options when the batch
+// starts), and a negative value always means "disable the feature". The
+// zero ExecMode is therefore exactly SequentialMode, and a bare
+// ExecMode{Pipelined: true} runs the work-stealing scheduler with every
+// knob at its default. Callers must not treat 0 as a literal size anywhere
+// in this struct.
 type ExecMode struct {
-	// Pipelined enables Algorithm 1; false processes tables sequentially.
+	// Pipelined enables the work-stealing scheduler (Algorithm 1 +
+	// DESIGN.md §16); false processes tables sequentially.
 	Pipelined bool
-	// PrepWorkers and InferWorkers size thread pools TP1 and TP2.
+	// Workers sizes the unified work-stealing pool. 0 derives the size
+	// from PrepWorkers+InferWorkers — the capacity the legacy fixed pools
+	// offered — or defaults to 4, the paper's 2+2, when those are unset
+	// too.
+	Workers int
+	// PrepWorkers and InferWorkers are the legacy §5 fixed-pool sizes.
+	// Stage kinds are scheduling priorities now, not dedicated lanes, so
+	// the two survive only as capacity inputs to the Workers derivation.
 	PrepWorkers  int
 	InferWorkers int
+	// Lookahead bounds the scan prefetcher: at most this many table
+	// metadata fetches plus content scans run ahead of the stages that
+	// will consume them. 0 defaults to 2×Workers; negative disables
+	// prefetching.
+	Lookahead int
+	// PrefetchBytes bounds the bytes held by completed-but-unconsumed
+	// prefetched scans — backpressure tied to the cache byte budget. 0
+	// defaults to a quarter of Options.CacheBytes (floor 1 MiB); negative
+	// removes the byte brake, leaving only the Lookahead window.
+	PrefetchBytes int64
+	// BatchChunks caps the table chunks coalesced into one cross-table
+	// Phase-2 forward within a single DetectDatabase call. 0 defaults to
+	// 8 (matching the serving micro-batcher); 1 or negative disables
+	// cross-table batching so every table issues its own forward.
+	BatchChunks int
 }
 
 // SequentialMode is the execution mode of the baselines and of "Taste w/o
@@ -427,20 +473,58 @@ type ExecMode struct {
 var SequentialMode = ExecMode{}
 
 // PipelinedMode returns the default pipelined mode with the paper's pool
-// size of 2 (§6.3).
+// size of 2 (§6.3) — 4 workers total under the work-stealing scheduler.
 func PipelinedMode() ExecMode {
 	return ExecMode{Pipelined: true, PrepWorkers: 2, InferWorkers: 2}
 }
 
-// AutoMode sizes the pipelined pools from the machine instead of the
-// paper's fixed 2/2: half the logical CPUs per pool (floor 2), leaving the
-// other half to the tensor runtime's sharded kernels.
+// AutoMode sizes the work-stealing pool from the machine instead of the
+// paper's fixed 2+2: one worker per logical CPU (floor 4, so a small host
+// still overlaps I/O with compute). The legacy per-kind fields are filled
+// in for callers that still display or override them; lookahead and batch
+// knobs stay 0 and resolve to their defaults per the struct contract.
 func AutoMode() ExecMode {
-	w := runtime.GOMAXPROCS(0) / 2
-	if w < 2 {
-		w = 2
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
 	}
-	return ExecMode{Pipelined: true, PrepWorkers: w, InferWorkers: w}
+	return ExecMode{Pipelined: true, Workers: w, PrepWorkers: w / 2, InferWorkers: w - w/2}
+}
+
+// withDefaults resolves the mode's zero values against the detector
+// options, returning a fully concrete mode: Workers ≥ 1, Lookahead and
+// BatchChunks either positive or explicitly disabled (negative input maps
+// to the disabled sentinel 0 for Lookahead / 1 for BatchChunks). Sequential
+// modes pass through untouched.
+func (m ExecMode) withDefaults(opts Options) ExecMode {
+	if !m.Pipelined {
+		return m
+	}
+	if m.Workers == 0 {
+		m.Workers = pipeline.Scheduler{PrepWorkers: m.PrepWorkers, InferWorkers: m.InferWorkers}.WorkerCount()
+	}
+	switch {
+	case m.Lookahead < 0:
+		m.Lookahead = 0
+	case m.Lookahead == 0:
+		m.Lookahead = 2 * m.Workers
+	}
+	switch {
+	case m.PrefetchBytes < 0:
+		m.PrefetchBytes = 0 // no byte brake; window still bounds
+	case m.PrefetchBytes == 0:
+		m.PrefetchBytes = opts.CacheBytes / 4
+		if m.PrefetchBytes < 1<<20 {
+			m.PrefetchBytes = 1 << 20
+		}
+	}
+	switch {
+	case m.BatchChunks < 0:
+		m.BatchChunks = 1
+	case m.BatchChunks == 0:
+		m.BatchChunks = 8
+	}
+	return m
 }
 
 // quantKey carries a per-request int8 quantization override through the
@@ -470,11 +554,18 @@ func quantPref(ctx context.Context) *bool {
 // captured once at job creation: all four stages (and their cache keys) use
 // the same weights even if the detector hot-swaps mid-request.
 type tableJob struct {
-	d       *Detector
-	model   *adtd.Model
-	conn    *simdb.Conn
-	dbName  string
-	table   string
+	d      *Detector
+	model  *adtd.Model
+	conn   *simdb.Conn
+	dbName string
+	table  string
+	// pf, when set, serves this job's storage reads from the batch's scan
+	// prefetcher; rb, when set, routes s4's chunks through the batch's
+	// cross-table coalescer; fwd, when set, counts content forwards issued
+	// on the direct (uncoalesced) path.
+	pf      *prefetcher
+	rb      *requestBatcher
+	fwd     *atomic.Int64
 	info    *metafeat.TableInfo
 	chunks  []*metafeat.TableInfo
 	offsets []int // global index of each chunk's first column
@@ -510,21 +601,24 @@ func deadlineNear(ctx context.Context, margin time.Duration) (string, bool) {
 	return "", false
 }
 
-// s1PrepMetadata fetches metadata (running ANALYZE first when histograms
-// are requested but absent) and builds the chunked table view. Transient
-// metadata-query failures are retried per the backoff policy.
-func (j *tableJob) s1PrepMetadata(ctx context.Context) error {
+// fetchTableMeta fetches a table's metadata, running ANALYZE first when
+// histograms are requested but statistics are absent. Transient failures
+// are retried per the backoff policy; the retry count is returned for the
+// caller's table ledger. Shared by the synchronous s1 path and the
+// prefetcher's metadata lookahead.
+func (d *Detector) fetchTableMeta(ctx context.Context, conn *simdb.Conn, table string) (*simdb.TableMeta, int, error) {
 	var tm *simdb.TableMeta
-	n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
+	retries := 0
+	n, err := d.retry(ctx, conn.Accounting(), func() error {
 		var e error
-		tm, e = j.conn.TableMetadata(ctx, j.table)
+		tm, e = conn.TableMetadata(ctx, table)
 		return e
 	})
-	j.retries += n
+	retries += n
 	if err != nil {
-		return err
+		return nil, retries, err
 	}
-	if j.d.Opts.UseHistogram {
+	if d.Opts.UseHistogram {
 		missing := false
 		for i := range tm.Columns {
 			if tm.Columns[i].Stats == nil {
@@ -533,23 +627,44 @@ func (j *tableJob) s1PrepMetadata(ctx context.Context) error {
 			}
 		}
 		if missing {
-			n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
-				return j.conn.AnalyzeTable(ctx, j.table, simdb.AnalyzeOptions{})
+			n, err := d.retry(ctx, conn.Accounting(), func() error {
+				return conn.AnalyzeTable(ctx, table, simdb.AnalyzeOptions{})
 			})
-			j.retries += n
+			retries += n
 			if err != nil {
-				return err
+				return nil, retries, err
 			}
-			n, err = j.d.retry(ctx, j.conn.Accounting(), func() error {
+			n, err = d.retry(ctx, conn.Accounting(), func() error {
 				var e error
-				tm, e = j.conn.TableMetadata(ctx, j.table)
+				tm, e = conn.TableMetadata(ctx, table)
 				return e
 			})
-			j.retries += n
+			retries += n
 			if err != nil {
-				return err
+				return nil, retries, err
 			}
 		}
+	}
+	return tm, retries, nil
+}
+
+// s1PrepMetadata fetches metadata — from the batch prefetcher's lookahead
+// when it got there first, synchronously otherwise — and builds the chunked
+// table view.
+func (j *tableJob) s1PrepMetadata(ctx context.Context) error {
+	var tm *simdb.TableMeta
+	var n int
+	var err error
+	ok := false
+	if j.pf != nil {
+		tm, n, err, ok = j.pf.awaitMeta(j.table)
+	}
+	if !ok {
+		tm, n, err = j.d.fetchTableMeta(ctx, j.conn, j.table)
+	}
+	j.retries += n
+	if err != nil {
+		return err
 	}
 	j.info = metafeat.FromTableMeta(tm)
 	j.chunks = j.info.Split(j.d.Opts.SplitThreshold)
@@ -606,6 +721,16 @@ func (j *tableJob) s2InferMetadata(ctx context.Context) error {
 			j.uncertain = append(j.uncertain, global)
 		}
 		j.res.Columns = append(j.res.Columns, cr)
+	}
+	// The uncertain set is known the moment Phase 1 resolves: start the
+	// content scan now, overlapping it with whatever inference the pool
+	// runs before this job's s3 is dispatched.
+	if j.pf != nil && len(j.uncertain) > 0 {
+		names := make([]string, len(j.uncertain))
+		for i, g := range j.uncertain {
+			names[i] = j.info.Columns[g].Name
+		}
+		j.pf.tryStartScan(j.table, names)
 	}
 	return nil
 }
@@ -696,20 +821,30 @@ func (j *tableJob) s3PrepContent(ctx context.Context) error {
 			return nil
 		}
 	}
-	names := make([]string, len(j.uncertain))
-	for i, g := range j.uncertain {
-		names[i] = j.info.Columns[g].Name
-	}
 	var content map[string][]string
-	n, err := j.d.retry(ctx, j.conn.Accounting(), func() error {
-		var e error
-		content, e = j.conn.ScanColumns(ctx, j.table, names, simdb.ScanOptions{
-			Strategy: opts.Strategy,
-			Rows:     opts.RowsToRead,
-			Seed:     opts.ScanSeed,
+	var n int
+	var err error
+	ok := false
+	if j.pf != nil {
+		// Consume the scan s2 started (same columns, same options); falls
+		// through to the synchronous path when a capacity brake skipped it.
+		content, n, err, ok = j.pf.awaitScan(j.table)
+	}
+	if !ok {
+		names := make([]string, len(j.uncertain))
+		for i, g := range j.uncertain {
+			names[i] = j.info.Columns[g].Name
+		}
+		n, err = j.d.retry(ctx, j.conn.Accounting(), func() error {
+			var e error
+			content, e = j.conn.ScanColumns(ctx, j.table, names, simdb.ScanOptions{
+				Strategy: opts.Strategy,
+				Rows:     opts.RowsToRead,
+				Seed:     opts.ScanSeed,
+			})
+			return e
 		})
-		return e
-	})
+	}
 	j.retries += n
 	if err != nil {
 		if opts.DisableDegradation {
@@ -772,7 +907,8 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 	// uses the process default. Both version the result key.
 	lquant := j.d.effectiveQuantize(quantPref(ctx))
 	cquant := lquant
-	hasInferencer := j.d.contentInferencer() != nil
+	ci := j.d.contentInferencer()
+	hasInferencer := ci != nil
 	if hasInferencer {
 		cquant = j.d.effectiveQuantize(nil)
 	}
@@ -825,28 +961,48 @@ func (j *tableJob) s4InferContent(ctx context.Context) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	// inferFailed maps a batch-inference error to the degradation ladder:
+	// the columns keep their Phase-1 answer, sharpened by the rules over
+	// the already-fetched content. Returns the error to propagate (nil when
+	// degradation absorbed it).
+	inferFailed := func(err error) error {
+		if opts.DisableDegradation {
+			return err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
+			return ctxErr // user cancellation: abort, nothing to salvage
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			j.degradeWithRules(pending, "deadline exceeded in content inference", true)
+		} else {
+			j.degradeWithRules(pending, "content inference failed: "+err.Error(), false)
+		}
+		return nil
+	}
 	var batch [][][]float64
-	if ci := j.d.contentInferencer(); ci != nil {
+	switch {
+	case j.rb != nil:
+		// Cross-table coalescing: the chunks merge with other tables' into
+		// padded batched forwards (which themselves go through the
+		// cross-request inferencer when one is installed).
+		var err error
+		batch, err = j.rb.submit(ctx, j.model, reqs)
+		if err != nil {
+			return inferFailed(err)
+		}
+	case hasInferencer:
+		if j.fwd != nil {
+			j.fwd.Add(1)
+		}
 		var err error
 		batch, err = ci.InferContentBatch(ctx, j.model, reqs, opts.CellsPerColumn)
 		if err != nil {
-			if opts.DisableDegradation {
-				return err
-			}
-			if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(ctxErr, context.DeadlineExceeded) {
-				return ctxErr // user cancellation: abort, nothing to salvage
-			}
-			// Deadline expired while queued or in flight, or the inferencer
-			// failed outright: the columns keep their Phase-1 answer,
-			// sharpened by the rules over the already-fetched content.
-			if errors.Is(err, context.DeadlineExceeded) {
-				j.degradeWithRules(pending, "deadline exceeded in content inference", true)
-			} else {
-				j.degradeWithRules(pending, "content inference failed: "+err.Error(), false)
-			}
-			return nil
+			return inferFailed(err)
 		}
-	} else {
+	default:
+		if j.fwd != nil {
+			j.fwd.Add(1)
+		}
 		batch = j.model.PredictContentBatchQ(reqs, opts.CellsPerColumn, quantPref(ctx))
 	}
 	for r, globals := range globalsPerReq {
@@ -969,22 +1125,49 @@ func (d *Detector) DetectDatabase(ctx context.Context, server *simdb.Server, dbN
 	// One model for the whole batch: every table of the request is answered
 	// by the same weights, however long the batch runs across swaps.
 	model := d.requestModel(ctx)
+	mode = mode.withDefaults(d.Opts)
+	var fwd atomic.Int64
+	var pf *prefetcher
+	var rb *requestBatcher
+	if mode.Pipelined {
+		if mode.Lookahead > 0 {
+			pf = newPrefetcher(ctx, d, conn, tables, mode.Lookahead, mode.PrefetchBytes)
+		}
+		if mode.BatchChunks > 1 {
+			rb = newRequestBatcher(d, mode.BatchChunks, mode.Workers, len(tables), &fwd)
+		}
+	}
 	jobs := make([]*pipeline.Job, len(tables))
 	tjobs := make([]*tableJob, len(tables))
 	for i, t := range tables {
-		tjobs[i] = &tableJob{d: d, model: model, conn: conn, dbName: dbName, table: t}
-		jobs[i] = &pipeline.Job{ID: t, Stages: tjobs[i].stages()}
+		tjobs[i] = &tableJob{d: d, model: model, conn: conn, dbName: dbName, table: t, pf: pf, rb: rb, fwd: &fwd}
+		stages := tjobs[i].stages()
+		if rb != nil {
+			stages = rb.wrapStages(stages)
+		}
+		jobs[i] = &pipeline.Job{ID: t, Stages: stages}
 	}
-	sched := pipeline.Scheduler{
-		Pipelined:    mode.Pipelined,
-		PrepWorkers:  mode.PrepWorkers,
-		InferWorkers: mode.InferWorkers,
+	sched := pipeline.Scheduler{Pipelined: mode.Pipelined, Workers: mode.Workers}
+	stats, err := sched.RunStats(ctx, jobs)
+	if pf != nil {
+		// Drain before assembling the report: close waits for in-flight
+		// prefetches, so returning from here is a no-leak barrier even on
+		// cancellation, and wasted reads land in the retry ledger below.
+		pf.close()
 	}
-	if err := sched.Run(ctx, jobs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 
-	rep := &Report{Duration: time.Since(start), Retries: batchRetries}
+	rep := &Report{
+		Duration: time.Since(start), Retries: batchRetries,
+		ContentForwards: int(fwd.Load()),
+		Steals:          stats.Steals, StolenStages: stats.Stolen,
+	}
+	if pf != nil {
+		rep.PrefetchHits, rep.PrefetchWasted, rep.PrefetchSkipped = pf.hits, pf.waste, pf.skipped
+		rep.Retries += pf.wastedRetries
+	}
 	for i, j := range jobs {
 		tj := tjobs[i]
 		// Retries spent on a table count even when the table ultimately

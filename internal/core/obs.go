@@ -28,7 +28,21 @@ var (
 	degradedDeadlineTotal = obs.Default.Counter("taste_detector_degraded_columns_total", "cause", "deadline")
 	degradedFailureTotal  = obs.Default.Counter("taste_detector_degraded_columns_total", "cause", "failure")
 	tablesDetectedTotal   = obs.Default.Counter("taste_detector_tables_total")
+
+	// Cross-table batching series (DESIGN.md §16): forwards issued by the
+	// intra-request coalescer and how many chunks each carried.
+	batchForwardsTotal   = obs.Default.Counter("taste_pipeline_batch_forwards_total")
+	batchOccupancyChunks = obs.Default.Histogram("taste_pipeline_batch_chunks", obs.ExpBuckets(1, 2, 8))
+	batchPanicsTotal     = obs.Default.Counter("taste_pipeline_batch_panics_total")
 )
+
+// prefetchCount records scan-prefetcher outcomes: hit (consumed), waste
+// (completed but never consumed), skipped (declined by a capacity brake).
+func prefetchCount(kind, outcome string, n int) {
+	if n > 0 {
+		obs.Default.Counter("taste_pipeline_prefetch_total", "kind", kind, "outcome", outcome).Add(int64(n))
+	}
+}
 
 // stageLabels name the four stages in spans: "s<N>:<table>", so a trace
 // consumer can aggregate by the prefix before ':'.

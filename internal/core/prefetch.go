@@ -1,0 +1,236 @@
+// The bounded scan prefetcher (DESIGN.md §16): while earlier tables sit in
+// inference stages, it starts the storage reads upcoming stages will need —
+// table metadata (plus ANALYZE when histograms are on) ahead of s1, and
+// uncertain-column content scans ahead of s3 — so the work-stealing
+// scheduler's compute stages overlap tenant-database I/O end to end.
+//
+// Backpressure is twofold: a lookahead window caps how many prefetches of
+// each kind may be in flight or completed-but-unconsumed at once (metadata
+// and scans are windowed independently — the metadata lookahead runs ahead
+// of the whole batch and would otherwise permanently starve scans of
+// slots), and a byte budget tied to the cache byte budget caps how much
+// scanned content may sit waiting for its consumer. When either brake is on, a prefetch is simply skipped
+// and the consuming stage falls back to the synchronous path — prefetching
+// never stalls the pipeline.
+//
+// Every prefetch runs under the batch context, and the simdb client is
+// context-aware, so cancelling the request drains all in-flight reads
+// promptly; close() waits for them, making DetectDatabase's return a
+// barrier with no leaked goroutines.
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/simdb"
+)
+
+// metaFuture is a pending (or completed) metadata prefetch.
+type metaFuture struct {
+	done    chan struct{}
+	tm      *simdb.TableMeta
+	retries int
+	err     error
+}
+
+// scanFuture is a pending (or completed) content-scan prefetch.
+type scanFuture struct {
+	done    chan struct{}
+	content map[string][]string
+	bytes   int64
+	retries int
+	err     error
+}
+
+type prefetcher struct {
+	d      *Detector
+	conn   *simdb.Conn
+	ctx    context.Context
+	window int
+	budget int64 // ≤0 = no byte brake
+
+	wg sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	metaSlots int   // in-flight + unconsumed metadata prefetches
+	scanSlots int   // in-flight + unconsumed scan prefetches
+	heldBytes int64 // bytes of completed-but-unconsumed scan content
+	metas     map[string]*metaFuture
+	scans     map[string]*scanFuture
+	tables    []string // metadata lookahead order (the batch's table order)
+	nextMeta  int
+	// consumed marks tables whose s1 already ran. Stealing executes tables
+	// out of order, so without it the lookahead would issue metadata reads
+	// for tables that sailed past s1 on the synchronous path — guaranteed
+	// waste.
+	consumed map[string]bool
+
+	hits, waste, skipped int
+	wastedRetries        int
+}
+
+// newPrefetcher starts the metadata lookahead over tables immediately (up
+// to the window), so the first s1 stages already find their reads in
+// flight.
+func newPrefetcher(ctx context.Context, d *Detector, conn *simdb.Conn, tables []string, window int, budget int64) *prefetcher {
+	p := &prefetcher{
+		d: d, conn: conn, ctx: ctx,
+		window: window, budget: budget,
+		metas:    make(map[string]*metaFuture, len(tables)),
+		scans:    make(map[string]*scanFuture),
+		tables:   tables,
+		consumed: make(map[string]bool, len(tables)),
+	}
+	p.mu.Lock()
+	p.advanceLocked()
+	p.mu.Unlock()
+	return p
+}
+
+// metaCapacityLocked reports whether another metadata prefetch may start.
+func (p *prefetcher) metaCapacityLocked() bool {
+	return !p.closed && p.metaSlots < p.window
+}
+
+// scanCapacityLocked reports whether another scan prefetch may start. Scans
+// carry the content bytes, so the byte brake applies to them alone.
+func (p *prefetcher) scanCapacityLocked() bool {
+	if p.closed || p.scanSlots >= p.window {
+		return false
+	}
+	return p.budget <= 0 || p.heldBytes < p.budget
+}
+
+// advanceLocked issues metadata prefetches for upcoming tables while
+// capacity remains. Content scans are issued on demand (tryStartScan) the
+// moment s2 learns which columns are uncertain.
+func (p *prefetcher) advanceLocked() {
+	for p.nextMeta < len(p.tables) && p.metaCapacityLocked() {
+		table := p.tables[p.nextMeta]
+		p.nextMeta++
+		if p.consumed[table] {
+			continue
+		}
+		f := &metaFuture{done: make(chan struct{})}
+		p.metas[table] = f
+		p.metaSlots++
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			f.tm, f.retries, f.err = p.d.fetchTableMeta(p.ctx, p.conn, table)
+			close(f.done)
+		}()
+	}
+}
+
+// awaitMeta consumes the table's metadata prefetch, blocking until the read
+// finishes. ok=false means the table was never prefetched (capacity brake)
+// and the caller must fetch synchronously.
+func (p *prefetcher) awaitMeta(table string) (tm *simdb.TableMeta, retries int, err error, ok bool) {
+	p.mu.Lock()
+	f := p.metas[table]
+	delete(p.metas, table) // claimed: no longer a waste candidate
+	p.consumed[table] = true
+	p.mu.Unlock()
+	if f == nil {
+		return nil, 0, nil, false
+	}
+	<-f.done
+	p.mu.Lock()
+	p.metaSlots--
+	p.hits++
+	p.advanceLocked()
+	p.mu.Unlock()
+	prefetchCount("meta", "hit", 1)
+	return f.tm, f.retries, f.err, true
+}
+
+// tryStartScan begins the content scan for a table's uncertain columns —
+// called at the end of s2, as soon as the column set is known — unless a
+// brake is on, in which case s3 will scan synchronously.
+func (p *prefetcher) tryStartScan(table string, names []string) {
+	p.mu.Lock()
+	if !p.scanCapacityLocked() {
+		p.skipped++
+		p.mu.Unlock()
+		prefetchCount("scan", "skipped", 1)
+		return
+	}
+	f := &scanFuture{done: make(chan struct{})}
+	p.scans[table] = f
+	p.scanSlots++
+	p.mu.Unlock()
+	opts := p.d.Opts
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		f.retries, f.err = p.d.retry(p.ctx, p.conn.Accounting(), func() error {
+			var e error
+			f.content, e = p.conn.ScanColumns(p.ctx, table, names, simdb.ScanOptions{
+				Strategy: opts.Strategy,
+				Rows:     opts.RowsToRead,
+				Seed:     opts.ScanSeed,
+			})
+			return e
+		})
+		var bytes int64
+		for _, vals := range f.content {
+			for _, v := range vals {
+				bytes += int64(len(v))
+			}
+		}
+		f.bytes = bytes
+		p.mu.Lock()
+		p.heldBytes += bytes
+		p.mu.Unlock()
+		close(f.done)
+	}()
+}
+
+// awaitScan consumes the table's content-scan prefetch. ok=false means the
+// scan was never started and s3 must scan synchronously.
+func (p *prefetcher) awaitScan(table string) (content map[string][]string, retries int, err error, ok bool) {
+	p.mu.Lock()
+	f := p.scans[table]
+	delete(p.scans, table)
+	p.mu.Unlock()
+	if f == nil {
+		return nil, 0, nil, false
+	}
+	<-f.done
+	p.mu.Lock()
+	p.scanSlots--
+	p.heldBytes -= f.bytes
+	p.hits++
+	p.advanceLocked()
+	p.mu.Unlock()
+	prefetchCount("scan", "hit", 1)
+	return f.content, f.retries, f.err, true
+}
+
+// close stops issuing prefetches and waits for every in-flight read — the
+// no-leak barrier. Futures that completed but were never consumed (their
+// table degraded, failed, or the batch was cancelled) are accounted as
+// waste, and their retries are folded into the batch ledger by the caller.
+func (p *prefetcher) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for table, f := range p.metas {
+		p.waste++
+		p.wastedRetries += f.retries
+		delete(p.metas, table)
+		prefetchCount("meta", "waste", 1)
+	}
+	for table, f := range p.scans {
+		p.waste++
+		p.wastedRetries += f.retries
+		delete(p.scans, table)
+		prefetchCount("scan", "waste", 1)
+	}
+}

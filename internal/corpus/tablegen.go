@@ -106,6 +106,28 @@ func GitTablesProfile(tables int) Profile {
 	}
 }
 
+// SmallTablesProfile mimics the Sherlock/Sato-scale corpora dominated by
+// many narrow tables (see PAPERS.md): exactly 3 columns per table, with
+// WikiTable-like ambiguity so a steady fraction of columns reaches Phase 2.
+// This is the workload shape where per-table dispatch overhead and
+// unbatched Phase-2 forwards dominate — the case cross-table inference
+// batching (DESIGN.md §16) exists for.
+func SmallTablesProfile(tables int) Profile {
+	return Profile{
+		Name:             "smalltables",
+		Tables:           tables,
+		MinCols:          3,
+		MaxCols:          3,
+		Rows:             60,
+		AmbiguousRate:    0.45,
+		CommentRate:      0.5,
+		NullRate:         0,
+		MultiLabelRate:   0.15,
+		NullCellRate:     0.05,
+		TableCommentRate: 0.8,
+	}
+}
+
 var tableNameNouns = []string{"records", "entries", "items", "listing", "catalog", "log", "registry", "archive", "snapshot", "export"}
 var tableThemes = []string{"customer", "order", "event", "track", "player", "city", "product", "session", "asset", "employee", "shipment", "survey", "device", "account", "library"}
 

@@ -114,9 +114,14 @@ func TestPreCancelledContextRunsNothing(t *testing.T) {
 func TestCancellationDoesNotOverwriteStageErrors(t *testing.T) {
 	boom := errors.New("boom")
 	ctx, cancel := context.WithCancel(context.Background())
-	bad := &Job{ID: "bad", Stages: []Stage{{Kind: Prep, Name: "p", Run: func(context.Context) error { return boom }}}}
+	badDone := make(chan struct{})
+	bad := &Job{ID: "bad", Stages: []Stage{{Kind: Prep, Name: "p", Run: func(context.Context) error {
+		close(badDone)
+		return boom
+	}}}}
 	slow := &Job{ID: "slow", Stages: []Stage{{Kind: Prep, Name: "p", Run: func(ctx context.Context) error {
-		cancel() // the bad job has long failed by the time this runs
+		<-badDone // the bad job has failed by the time the cancel fires
+		cancel()
 		<-ctx.Done()
 		return ctx.Err()
 	}}}}

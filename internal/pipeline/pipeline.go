@@ -1,8 +1,9 @@
 // Package pipeline implements the pipelined execution engine of §5
 // (Algorithm 1): each table contributes an ordered list of stages
 // alternating between data preparation (I/O + CPU) and inference (compute),
-// and a scheduler interleaves stages of different tables across two worker
-// pools so that one table's inference overlaps another's data fetch.
+// and a work-stealing scheduler interleaves stages of different tables
+// across a single worker pool so that one table's inference overlaps
+// another's data fetch (DESIGN.md §16).
 //
 // Both schedulers propagate a context.Context into every stage and stop
 // dispatching once it is cancelled, so a per-request deadline genuinely
@@ -12,29 +13,36 @@ package pipeline
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// queueWait records how long a stage sat eligible-but-undispatched: the
-// scheduler-added latency the paper's §5 pipelining analysis cares about.
-// Stages are labeled by position (s1..s4 for Taste's four-stage jobs) so the
-// histogram lines up with the per-stage duration series in core.
-func queueWait(stageIdx int, kind StageKind, d time.Duration) {
+// queueWait records how long a stage sat runnable-but-undispatched in a
+// worker deque: the scheduler-added latency the paper's §5 pipelining
+// analysis cares about. Stages are labeled by position (s1..s4 for Taste's
+// four-stage jobs) so the histogram lines up with the per-stage duration
+// series in core; the stolen label splits waits of migrated stages from
+// stages their owner ran locally.
+func queueWait(stageIdx int, kind StageKind, stolen bool, d time.Duration) {
 	obs.Default.LatencyHistogram("taste_pipeline_queue_wait_seconds",
-		"stage", fmt.Sprintf("s%d", stageIdx+1), "kind", kind.String()).ObserveDuration(d)
+		"stage", fmt.Sprintf("s%d", stageIdx+1),
+		"kind", kind.String(),
+		"stolen", fmt.Sprintf("%v", stolen)).ObserveDuration(d)
 }
 
-// StageKind distinguishes the two resource classes of §5.
+// StageKind distinguishes the two resource classes of §5. The work-stealing
+// scheduler treats the kind as a priority hint, not a dedicated lane: a
+// worker prefers running its own freshest Infer stage (hot caches) and
+// stealing victims' oldest Prep stages (starts I/O early so it overlaps
+// the victim's compute).
 type StageKind int
 
 const (
-	// Prep stages consume I/O and CPU (run on thread pool TP1).
+	// Prep stages consume I/O and CPU (thread pool TP1 in the paper).
 	Prep StageKind = iota
 	// Infer stages consume compute — the GPU in the paper, the inference
-	// worker pool here (TP2).
+	// workers here (TP2).
 	Infer
 )
 
@@ -66,41 +74,83 @@ type Job struct {
 }
 
 // Scheduler runs jobs either sequentially (the baseline execution mode of
-// prior work) or pipelined per Algorithm 1.
+// prior work) or through the work-stealing pool (Algorithm 1 + DESIGN.md
+// §16).
 type Scheduler struct {
-	// PrepWorkers is the size of thread pool TP1 (≥1).
-	PrepWorkers int
-	// InferWorkers is the size of thread pool TP2 (≥1).
+	// Workers sizes the unified work-stealing pool (≥1). 0 derives the
+	// size from PrepWorkers+InferWorkers — the capacity the old dedicated
+	// pools offered — or defaults to 4 (the paper's 2+2) when those are
+	// unset too. Negative is invalid.
+	Workers int
+	// PrepWorkers and InferWorkers are the legacy §5 fixed-pool sizes,
+	// kept as capacity inputs: stage kinds are scheduling priorities now,
+	// not lanes, so the two only contribute to the pool size.
+	PrepWorkers  int
 	InferWorkers int
-	// Pipelined selects Algorithm 1; false degenerates to the sequential
-	// mode that processes tables and stages one by one.
+	// Pipelined selects the work-stealing engine; false degenerates to the
+	// sequential mode that processes tables and stages one by one.
 	Pipelined bool
+}
+
+// WorkerCount resolves the effective pool size per the Workers field's
+// derivation rules.
+func (s Scheduler) WorkerCount() int {
+	if s.Workers != 0 {
+		return s.Workers
+	}
+	if n := s.PrepWorkers + s.InferWorkers; n > 0 {
+		return n
+	}
+	return 4
 }
 
 // Validate reports configuration errors.
 func (s Scheduler) Validate() error {
-	if s.Pipelined && (s.PrepWorkers < 1 || s.InferWorkers < 1) {
-		return fmt.Errorf("pipeline: pipelined mode needs at least one worker per pool, got %d/%d", s.PrepWorkers, s.InferWorkers)
+	if !s.Pipelined {
+		return nil
+	}
+	if s.Workers < 0 || s.PrepWorkers < 0 || s.InferWorkers < 0 || s.WorkerCount() < 1 {
+		return fmt.Errorf("pipeline: pipelined mode needs a positive worker count, got workers=%d prep=%d infer=%d",
+			s.Workers, s.PrepWorkers, s.InferWorkers)
 	}
 	return nil
+}
+
+// Stats summarizes one Run of the work-stealing engine.
+type Stats struct {
+	// Steals counts steal operations that migrated at least one stage from
+	// a victim's deque.
+	Steals int64
+	// Stolen counts stages migrated by those steals (steal-half takes up
+	// to half a victim queue per operation).
+	Stolen int64
+	// MaxQueueDepth is the peak number of runnable stages queued across
+	// all worker deques at any instant.
+	MaxQueueDepth int
 }
 
 // Run executes all jobs under ctx and returns after every job finishes,
 // fails, or is cancelled. A nil ctx means context.Background(). Run never
 // leaks goroutines: it waits for in-flight stages even after cancellation.
 func (s Scheduler) Run(ctx context.Context, jobs []*Job) error {
+	_, err := s.RunStats(ctx, jobs)
+	return err
+}
+
+// RunStats is Run plus the engine's steal/queue statistics (zero for
+// sequential mode).
+func (s Scheduler) RunStats(ctx context.Context, jobs []*Job) (Stats, error) {
 	if err := s.Validate(); err != nil {
-		return err
+		return Stats{}, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if !s.Pipelined {
 		runSequential(ctx, jobs)
-		return nil
+		return Stats{}, nil
 	}
-	runPipelined(ctx, jobs, s.PrepWorkers, s.InferWorkers)
-	return nil
+	return runStealing(ctx, jobs, s.WorkerCount()), nil
 }
 
 // runSequential processes tables one by one, each stage in order — the
@@ -115,150 +165,6 @@ func runSequential(ctx context.Context, jobs []*Job) {
 			if err := st.Run(ctx); err != nil {
 				j.Err = fmt.Errorf("stage %s: %w", st.Name, err)
 				break
-			}
-		}
-	}
-}
-
-// runPipelined implements Algorithm 1. The stage queue holds every stage of
-// every job; a stage is eligible when all previous stages of the same job
-// have finished (Definition 5.1). Whenever a pool has a free worker, the
-// first eligible stage of the matching kind is dispatched. Once ctx is
-// cancelled no further stages are dispatched; in-flight stages are drained
-// and every unfinished job records the context error.
-func runPipelined(ctx context.Context, jobs []*Job, prepWorkers, inferWorkers int) {
-	type jobState struct {
-		job  *Job
-		next int // index of the next stage to dispatch
-		busy bool
-		// readyAt is when the job's next stage became eligible (job
-		// submission, or the previous stage's completion); dispatch-readyAt
-		// is the stage's queue wait.
-		readyAt time.Time
-	}
-	now := time.Now()
-	states := make([]*jobState, len(jobs))
-	remaining := 0
-	for i, j := range jobs {
-		states[i] = &jobState{job: j, readyAt: now}
-		remaining += len(j.Stages)
-	}
-
-	var mu sync.Mutex
-	cond := sync.NewCond(&mu)
-	prepActive, inferActive := 0, 0
-
-	// Wake the dispatch loop when the context dies so cancellation is
-	// observed even while every worker slot is idle.
-	stopWatch := context.AfterFunc(ctx, func() {
-		mu.Lock()
-		cond.Broadcast()
-		mu.Unlock()
-	})
-	defer stopWatch()
-
-	// pollEligible returns an eligible job whose next stage matches kind
-	// (previous stages done, not already dispatched). Each kind scans
-	// round-robin from just past its last dispatch, so early jobs in the
-	// slice cannot monopolize a pool and starve later jobs' stages
-	// (head-of-line unfairness): with equal-length jobs the pools rotate
-	// through all of them, which is what keeps prep and inference of
-	// *different* tables overlapped (§5).
-	prepCur, inferCur := -1, -1
-	pollEligible := func(kind StageKind) *jobState {
-		cur := &prepCur
-		if kind == Infer {
-			cur = &inferCur
-		}
-		n := len(states)
-		if n == 0 {
-			return nil
-		}
-		for off := 1; off <= n; off++ {
-			i := (*cur + off) % n
-			st := states[i]
-			if st.busy || st.job.Err != nil || st.next >= len(st.job.Stages) {
-				continue
-			}
-			if st.job.Stages[st.next].Kind == kind {
-				*cur = i
-				return st
-			}
-		}
-		return nil
-	}
-
-	dispatch := func(st *jobState) {
-		stage := st.job.Stages[st.next]
-		st.busy = true
-		queueWait(st.next, stage.Kind, time.Since(st.readyAt))
-		go func() {
-			err := stage.Run(ctx)
-			mu.Lock()
-			st.busy = false
-			st.readyAt = time.Now()
-			if err != nil {
-				st.job.Err = fmt.Errorf("stage %s: %w", stage.Name, err)
-				// Cancel the job's remaining stages.
-				remaining -= len(st.job.Stages) - st.next
-			} else {
-				st.next++
-				remaining--
-			}
-			if stage.Kind == Prep {
-				prepActive--
-			} else {
-				inferActive--
-			}
-			cond.Broadcast()
-			mu.Unlock()
-		}()
-	}
-
-	mu.Lock()
-	defer mu.Unlock()
-	for remaining > 0 {
-		if ctx.Err() != nil {
-			break
-		}
-		progressed := false
-		if prepActive < prepWorkers {
-			if st := pollEligible(Prep); st != nil {
-				prepActive++
-				dispatch(st)
-				progressed = true
-			}
-		}
-		if inferActive < inferWorkers {
-			if st := pollEligible(Infer); st != nil {
-				inferActive++
-				dispatch(st)
-				progressed = true
-			}
-		}
-		if !progressed {
-			if prepActive == 0 && inferActive == 0 {
-				// Nothing runnable and nothing running: only possible when
-				// all remaining stages belong to failed jobs (already
-				// subtracted), so remaining must have hit zero — guard
-				// against scheduler bugs turning into livelock.
-				if remaining > 0 {
-					panic("pipeline: scheduler deadlock")
-				}
-				break
-			}
-			cond.Wait()
-		}
-	}
-	// Drain: wait for in-flight stages so Run's completion is a barrier.
-	for prepActive > 0 || inferActive > 0 {
-		cond.Wait()
-	}
-	// Attribute the cancellation to every job the scheduler abandoned.
-	if err := ctx.Err(); err != nil {
-		for _, st := range states {
-			if st.job.Err == nil && st.next < len(st.job.Stages) {
-				st.job.Err = err
 			}
 		}
 	}

@@ -156,7 +156,7 @@ func TestPipelinedFasterThanSequential(t *testing.T) {
 	}
 }
 
-func TestPoolSizeRespected(t *testing.T) {
+func TestWorkerCountCapsConcurrency(t *testing.T) {
 	var active, maxActive int64
 	var jobs []*Job
 	for i := 0; i < 10; i++ {
@@ -175,9 +175,27 @@ func TestPoolSizeRespected(t *testing.T) {
 		}})
 		jobs = append(jobs, j)
 	}
-	Scheduler{Pipelined: true, PrepWorkers: 3, InferWorkers: 1}.Run(context.Background(), jobs)
+	Scheduler{Pipelined: true, Workers: 3}.Run(context.Background(), jobs)
 	if m := atomic.LoadInt64(&maxActive); m > 3 {
-		t.Fatalf("prep concurrency %d exceeded pool size 3", m)
+		t.Fatalf("stage concurrency %d exceeded pool size 3", m)
+	}
+}
+
+func TestWorkerCountDerivation(t *testing.T) {
+	cases := []struct {
+		s    Scheduler
+		want int
+	}{
+		{Scheduler{Workers: 5}, 5},
+		{Scheduler{PrepWorkers: 2, InferWorkers: 3}, 5},
+		{Scheduler{PrepWorkers: 2}, 2},
+		{Scheduler{}, 4},
+		{Scheduler{Workers: 1, PrepWorkers: 8, InferWorkers: 8}, 1},
+	}
+	for _, c := range cases {
+		if got := c.s.WorkerCount(); got != c.want {
+			t.Fatalf("WorkerCount(%+v) = %d, want %d", c.s, got, c.want)
+		}
 	}
 }
 
@@ -221,8 +239,14 @@ func TestFailedStageCancelsJobOnly(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 0, InferWorkers: 1}).Run(context.Background(), nil); err == nil {
-		t.Fatal("expected validation error")
+	if err := (Scheduler{Pipelined: true, Workers: -1}).Run(context.Background(), nil); err == nil {
+		t.Fatal("expected validation error for negative worker count")
+	}
+	if err := (Scheduler{Pipelined: true, PrepWorkers: -2, InferWorkers: 3}).Run(context.Background(), nil); err == nil {
+		t.Fatal("expected validation error for negative pool size")
+	}
+	if err := (Scheduler{Pipelined: true}).Run(context.Background(), nil); err != nil {
+		t.Fatalf("pipelined with derived default pool must be fine: %v", err)
 	}
 	if err := (Scheduler{Pipelined: false}).Run(context.Background(), nil); err != nil {
 		t.Fatalf("sequential with no workers must be fine: %v", err)
@@ -273,11 +297,12 @@ func TestManyJobsStress(t *testing.T) {
 	}
 }
 
-// TestRoundRobinDispatch pins down the dispatcher's fairness: with a single
-// infer worker and three jobs that each expose three consecutive infer
-// stages, dispatch must rotate j0 j1 j2 j0 j1 j2 … instead of draining one
-// job before touching the next (head-of-line unfairness).
-func TestRoundRobinDispatch(t *testing.T) {
+// TestSingleWorkerRunsDepthFirst pins the local deque discipline: a lone
+// worker pops its own deque LIFO, so it drives the most recently runnable
+// job to completion before touching older ones — the locality-first policy
+// that keeps a job's latents hot across its stages. Three jobs of three
+// infer stages each, seeded j0 j1 j2, must run j2 j2 j2 j1 j1 j1 j0 j0 j0.
+func TestSingleWorkerRunsDepthFirst(t *testing.T) {
 	const jobsN, stagesN = 3, 3
 	var mu sync.Mutex
 	var order []string
@@ -295,16 +320,17 @@ func TestRoundRobinDispatch(t *testing.T) {
 		}
 		jobs = append(jobs, j)
 	}
-	// One infer worker makes the dispatch order deterministic.
-	if err := (Scheduler{Pipelined: true, PrepWorkers: 1, InferWorkers: 1}).Run(context.Background(), jobs); err != nil {
+	// One worker makes the schedule deterministic.
+	if err := (Scheduler{Pipelined: true, Workers: 1}).Run(context.Background(), jobs); err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != jobsN*stagesN {
-		t.Fatalf("ran %d stages, want %d", len(order), jobsN*stagesN)
+	want := []string{"j2", "j2", "j2", "j1", "j1", "j1", "j0", "j0", "j0"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d stages, want %d", len(order), len(want))
 	}
 	for i, id := range order {
-		if want := fmt.Sprintf("j%d", i%jobsN); id != want {
-			t.Fatalf("dispatch order %v: position %d is %s, want %s (not interleaved)", order, i, id, want)
+		if id != want[i] {
+			t.Fatalf("schedule %v: position %d is %s, want %s (not depth-first LIFO)", order, i, id, want[i])
 		}
 	}
 }

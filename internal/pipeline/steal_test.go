@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStealHammer is the exactly-once battery for the work-stealing engine:
+// many jobs with mixed stage counts, kinds, and durations over a wide pool,
+// run repeatedly (and under -race in CI). Every stage must run exactly once
+// and strictly after its predecessor finished.
+func TestStealHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		const jobsN = 60
+		runs := make([][]atomic.Int32, jobsN)
+		var jobs []*Job
+		for i := 0; i < jobsN; i++ {
+			stagesN := 1 + rng.Intn(6)
+			runs[i] = make([]atomic.Int32, stagesN)
+			j := &Job{ID: fmt.Sprintf("j%d", i)}
+			for k := 0; k < stagesN; k++ {
+				i, k := i, k
+				kind := Prep
+				if rng.Intn(2) == 1 {
+					kind = Infer
+				}
+				var sleep time.Duration
+				if rng.Intn(3) == 0 {
+					sleep = time.Duration(rng.Intn(300)) * time.Microsecond
+				}
+				j.Stages = append(j.Stages, Stage{Kind: kind, Name: fmt.Sprintf("j%d/%d", i, k), Run: func(context.Context) error {
+					if k > 0 && runs[i][k-1].Load() != 1 {
+						t.Errorf("job %d stage %d started before stage %d finished", i, k, k-1)
+					}
+					if sleep > 0 {
+						time.Sleep(sleep)
+					}
+					runs[i][k].Add(1)
+					return nil
+				}})
+			}
+			jobs = append(jobs, j)
+		}
+		stats, err := Scheduler{Pipelined: true, Workers: 8}.RunStats(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range runs {
+			for k := range runs[i] {
+				if n := runs[i][k].Load(); n != 1 {
+					t.Fatalf("round %d: job %d stage %d ran %d times, want exactly 1", round, i, k, n)
+				}
+			}
+		}
+		if stats.Stolen < stats.Steals {
+			t.Fatalf("stats inconsistent: %d stages stolen in %d steal operations", stats.Stolen, stats.Steals)
+		}
+		if stats.MaxQueueDepth < 1 {
+			t.Fatalf("MaxQueueDepth = %d, want ≥ 1", stats.MaxQueueDepth)
+		}
+	}
+}
+
+// TestStealsRebalanceSkewedLoad forces imbalance between the two workers'
+// deques: round-robin seeding gives worker 0 only slow jobs and worker 1
+// only instant ones, so worker 1 must raid worker 0's deque for the pool to
+// stay busy. The run must record steals and finish far faster than worker 0
+// alone could.
+func TestStealsRebalanceSkewedLoad(t *testing.T) {
+	const jobsN = 8
+	var jobs []*Job
+	for i := 0; i < jobsN; i++ {
+		slow := i%2 == 0 // seeded to worker 0 of 2
+		j := &Job{ID: fmt.Sprintf("j%d", i)}
+		for k := 0; k < 4; k++ {
+			kind := Prep
+			if k%2 == 1 {
+				kind = Infer
+			}
+			j.Stages = append(j.Stages, Stage{Kind: kind, Run: func(context.Context) error {
+				if slow {
+					time.Sleep(2 * time.Millisecond)
+				}
+				return nil
+			}})
+		}
+		jobs = append(jobs, j)
+	}
+	stats, err := Scheduler{Pipelined: true, Workers: 2}.RunStats(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Err != nil {
+			t.Fatalf("job %s failed: %v", j.ID, j.Err)
+		}
+	}
+	if stats.Steals == 0 {
+		t.Fatal("skewed load produced zero steals; idle worker never raided the loaded deque")
+	}
+}

@@ -25,12 +25,21 @@ import (
 // positive, bounds the whole request: stages past the deadline degrade to
 // Phase-1 answers instead of running.
 type DetectRequest struct {
-	Database       string   `json:"database"`
-	Tables         []string `json:"tables,omitempty"` // empty = all tables
-	Pipelined      bool     `json:"pipelined"`
-	PrepWorkers    int      `json:"prep_workers,omitempty"`
-	InferWorkers   int      `json:"infer_workers,omitempty"`
-	DeadlineMillis int64    `json:"deadline_ms,omitempty"`
+	Database     string   `json:"database"`
+	Tables       []string `json:"tables,omitempty"` // empty = all tables
+	Pipelined    bool     `json:"pipelined"`
+	PrepWorkers  int      `json:"prep_workers,omitempty"`
+	InferWorkers int      `json:"infer_workers,omitempty"`
+	// Workers overrides the work-stealing pool size for this pipelined
+	// request; 0 keeps the service default (or derives from the legacy
+	// prep/infer overrides above when those are set).
+	Workers int `json:"workers,omitempty"`
+	// Lookahead and BatchChunks override the scan-prefetch window and the
+	// cross-table batching cap (core.ExecMode semantics: 0 = service
+	// default, negative = disable the feature for this request).
+	Lookahead      int   `json:"lookahead,omitempty"`
+	BatchChunks    int   `json:"batch_chunks,omitempty"`
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	// Trace requests the span tree of this detection inline in the
 	// response: per-stage timings for every table, relative to request
 	// start.
@@ -187,6 +196,9 @@ func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectRespons
 	if req.DeadlineMillis < 0 {
 		return nil, apiErrorf(http.StatusBadRequest, "deadline_ms must be ≥ 0")
 	}
+	if req.Workers < 0 || req.PrepWorkers < 0 || req.InferWorkers < 0 {
+		return nil, apiErrorf(http.StatusBadRequest, "worker counts must be ≥ 0")
+	}
 	server, ok := s.tenant(req.Database)
 	if !ok {
 		return nil, apiErrorf(http.StatusNotFound, "unknown database %q", req.Database)
@@ -251,11 +263,25 @@ func (s *Service) detect(ctx context.Context, req DetectRequest) (*DetectRespons
 		if req.Pipelined {
 			mode = s.defaultMode
 			mode.Pipelined = true
-			if req.PrepWorkers > 0 {
-				mode.PrepWorkers = req.PrepWorkers
+			if req.PrepWorkers > 0 || req.InferWorkers > 0 {
+				// Legacy per-kind overrides: adopt them and re-derive the
+				// pool size from their sum instead of the default Workers.
+				if req.PrepWorkers > 0 {
+					mode.PrepWorkers = req.PrepWorkers
+				}
+				if req.InferWorkers > 0 {
+					mode.InferWorkers = req.InferWorkers
+				}
+				mode.Workers = 0
 			}
-			if req.InferWorkers > 0 {
-				mode.InferWorkers = req.InferWorkers
+			if req.Workers > 0 {
+				mode.Workers = req.Workers
+			}
+			if req.Lookahead != 0 {
+				mode.Lookahead = req.Lookahead
+			}
+			if req.BatchChunks != 0 {
+				mode.BatchChunks = req.BatchChunks
 			}
 		}
 		rep, err := s.detector.DetectDatabase(ctx, server, req.Database, mode)
